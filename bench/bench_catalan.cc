@@ -1,0 +1,63 @@
+// E12 — Example 5.5: iterating f(x) = b + a·x² over the free semiring
+// N[a,b]. The coefficient of a^n b^{n+1} stabilizes to the n-th Catalan
+// number after n iterations even though the iteration itself never
+// converges (N[X] is not stable).
+#include "bench/bench_util.h"
+
+namespace datalogo {
+namespace {
+
+PolySystem<ProvPolyS> CatalanSystem() {
+  PolySystem<ProvPolyS> sys(1);
+  sys.poly(0).Add(Monomial<ProvPolyS>{ProvPolyS::Var("b"), {}, {}});
+  sys.poly(0).Add(Monomial<ProvPolyS>{ProvPolyS::Var("a"), {{0, 2}}, {}});
+  return sys;
+}
+
+void PrintTables() {
+  Banner("E12 bench_catalan",
+         "Example 5.5: coefficient of a^n b^(n+1) in f^(q)(0), f = b+a*x^2");
+  auto sys = CatalanSystem();
+  const int max_q = 7;
+  std::printf("%-4s", "q");
+  for (int n = 0; n < 6; ++n) std::printf("  n=%-8d", n);
+  std::printf("\n");
+  std::vector<ProvPolyS::Value> x = {ProvPolyS::Zero()};
+  for (int q = 1; q <= max_q; ++q) {
+    x = sys.Evaluate(x);
+    std::printf("%-4d", q);
+    for (int n = 0; n < 6; ++n) {
+      ProvMonomial m{{"a", static_cast<uint32_t>(n)},
+                     {"b", static_cast<uint32_t>(n + 1)}};
+      if (n == 0) m.erase("a");
+      std::printf("  %-10llu", static_cast<unsigned long long>(
+                                   ProvPolyS::Coefficient(x[0], m)));
+    }
+    std::printf("\n");
+  }
+  std::printf("(stabilized prefix = Catalan numbers 1,1,2,5,14,42 — the\n"
+              " paper's Eq. 33; rows q stabilize columns n <= q-1)\n");
+}
+
+void BM_CatalanIteration(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  auto sys = CatalanSystem();
+  for (auto _ : state) {
+    std::vector<ProvPolyS::Value> x = {ProvPolyS::Zero()};
+    for (int i = 0; i < q; ++i) x = sys.Evaluate(x);
+    benchmark::DoNotOptimize(x[0].size());
+    state.counters["monomials"] = static_cast<double>(x[0].size());
+  }
+}
+
+BENCHMARK(BM_CatalanIteration)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace datalogo
+
+int main(int argc, char** argv) {
+  datalogo::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E8 — Theorem 5.22 / Corollary 5.21: LinearLFP (O(pN + N³)) vs the naive
+// iteration on linear systems over Trop+_p; the crossover as N grows.
+#include "bench/bench_util.h"
+
+#include <random>
+
+namespace datalogo {
+namespace {
+
+using T1 = TropPS<1>;
+
+struct LinearInstance {
+  std::vector<LinearFunction<T1>> fs;
+  PolySystem<T1> sys{0};
+};
+
+LinearInstance MakeInstance(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> w(0.5, 8.0);
+  LinearInstance inst;
+  inst.fs.resize(n);
+  inst.sys = PolySystem<T1>(n);
+  for (int i = 0; i < n; ++i) {
+    T1::Value c = T1::FromScalar(w(rng));
+    inst.fs[i].AddConstant(c);
+    inst.sys.poly(i).Add(Monomial<T1>{c, {}, {}});
+    for (int j = 0; j < n; ++j) {
+      if (rng() % n >= 3) continue;  // ~3 terms per row
+      T1::Value a = T1::FromScalar(w(rng));
+      inst.fs[i].AddTerm(j, a);
+      inst.sys.poly(i).Add(Monomial<T1>{a, {{j, 1}}, {}});
+    }
+  }
+  return inst;
+}
+
+void PrintTables() {
+  Banner("E8 bench_linear_lfp",
+         "Thm 5.22: LinearLFP equals naive lfp; Cor. 5.21 step bound");
+  std::printf("%-6s %-12s %-14s %-10s\n", "N", "naive-steps",
+              "bound (p+1)N-1", "agree");
+  for (int n : {4, 8, 16, 32}) {
+    LinearInstance inst = MakeInstance(n, n);
+    auto iter = inst.sys.NaiveIterate(1 << 20);
+    auto direct = LinearLFP<T1>(inst.fs, /*p=*/1);
+    bool agree = iter.converged;
+    for (int i = 0; i < n && agree; ++i) {
+      // Compare up to ulps (the two algorithms associate sums differently).
+      for (int k = 0; k < T1::kBagSize; ++k) {
+        double a = direct[i][k], b = iter.values[i][k];
+        if (a == T1::Inf() || b == T1::Inf()) {
+          if (a != b) agree = false;
+        } else if (std::abs(a - b) > 1e-9) {
+          agree = false;
+        }
+      }
+    }
+    std::printf("%-6d %-12d %-14d %-10s\n", n, iter.steps, 2 * n - 1,
+                agree ? "yes" : "NO");
+  }
+}
+
+void BM_NaiveLinear(benchmark::State& state) {
+  LinearInstance inst =
+      MakeInstance(static_cast<int>(state.range(0)), state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.sys.NaiveIterate(1 << 20).values.data());
+  }
+}
+
+void BM_LinearLfp(benchmark::State& state) {
+  LinearInstance inst =
+      MakeInstance(static_cast<int>(state.range(0)), state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LinearLFP<T1>(inst.fs, /*p=*/1).data());
+  }
+}
+
+void BM_KleeneClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix<T1> a(n, n);
+  std::mt19937_64 rng(n);
+  std::uniform_real_distribution<double> w(0.5, 8.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a.at(i, j) = (rng() % n < 3) ? T1::FromScalar(w(rng)) : T1::Zero();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KleeneClosurePStable<T1>(a, 1));
+  }
+}
+
+BENCHMARK(BM_NaiveLinear)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_LinearLfp)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_KleeneClosure)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace datalogo
+
+int main(int argc, char** argv) {
+  datalogo::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

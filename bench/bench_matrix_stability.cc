@@ -1,0 +1,76 @@
+// E7 — Lemma 5.20: the stability index of N×N matrices over Trop+_p is at
+// most (p+1)N − 1, with the N-cycle attaining it exactly.
+#include "bench/bench_util.h"
+
+namespace datalogo {
+namespace {
+
+template <int kP>
+Matrix<TropPS<kP>> Adjacency(const Graph& g) {
+  using T = TropPS<kP>;
+  Matrix<T> a(g.num_vertices(), g.num_vertices());
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    for (int j = 0; j < g.num_vertices(); ++j) a.at(i, j) = T::Zero();
+  }
+  for (const Edge& e : g.edges()) {
+    a.at(e.src, e.dst) = T::Plus(a.at(e.src, e.dst), T::FromScalar(e.weight));
+  }
+  return a;
+}
+
+template <int kP>
+void CycleRow(int n) {
+  auto idx =
+      MatrixStabilityIndex<TropPS<kP>>(Adjacency<kP>(CycleGraph(n)),
+                                       (kP + 1) * n + 16);
+  std::printf("  p=%d N=%-3d cycle-index=%-4d bound (p+1)N-1=%-4d %s\n", kP,
+              n, idx.value_or(-1), (kP + 1) * n - 1,
+              idx == (kP + 1) * n - 1 ? "TIGHT" : "");
+}
+
+template <int kP>
+void RandomRow(int n, uint64_t seed) {
+  auto idx = MatrixStabilityIndex<TropPS<kP>>(
+      Adjacency<kP>(RandomGraph(n, 3 * n, seed)), (kP + 1) * n + 16);
+  std::printf("  p=%d N=%-3d random-index=%-4d bound=%-4d\n", kP, n,
+              idx.value_or(-1), (kP + 1) * n - 1);
+}
+
+void PrintTables() {
+  Banner("E7 bench_matrix_stability",
+         "Lemma 5.20: matrix stability over Trop+_p; cycle is tight");
+  std::printf("cycle matrices (lower-bound instance):\n");
+  CycleRow<0>(4);
+  CycleRow<0>(8);
+  CycleRow<1>(4);
+  CycleRow<1>(8);
+  CycleRow<2>(5);
+  CycleRow<3>(4);
+  std::printf("random matrices (upper bound):\n");
+  RandomRow<1>(8, 1);
+  RandomRow<1>(8, 2);
+  RandomRow<2>(6, 3);
+}
+
+template <int kP>
+void BM_MatrixStability(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = Adjacency<kP>(CycleGraph(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MatrixStabilityIndex<TropPS<kP>>(a, (kP + 1) * n + 16));
+  }
+}
+
+BENCHMARK(BM_MatrixStability<0>)->Name("matrix_stability_p0")->Arg(16)->Arg(32);
+BENCHMARK(BM_MatrixStability<2>)->Name("matrix_stability_p2")->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace datalogo
+
+int main(int argc, char** argv) {
+  datalogo::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

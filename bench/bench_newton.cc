@@ -1,0 +1,86 @@
+// E13 — intro/related work: Newton's method vs Kleene (naive) iteration.
+// The table shows iteration counts on deep chains and random quadratic
+// systems; the timings expose the cost-per-step trade-off the paper
+// describes (Newton steps are few but each solves a matrix closure).
+#include "bench/bench_util.h"
+
+#include <random>
+
+namespace datalogo {
+namespace {
+
+PolySystem<TropS> ChainSystem(int n) {
+  PolySystem<TropS> sys(n);
+  sys.poly(0).Add(Monomial<TropS>{0.0, {}, {}});
+  for (int i = 1; i < n; ++i) {
+    sys.poly(i).Add(Monomial<TropS>{1.0, {{i - 1, 1}}, {}});
+  }
+  return sys;
+}
+
+PolySystem<TropS> RandomQuadratic(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> w(0.5, 4.0);
+  PolySystem<TropS> sys(n);
+  for (int i = 0; i < n; ++i) {
+    sys.poly(i).Add(Monomial<TropS>{w(rng), {}, {}});
+    int j = static_cast<int>(rng() % n), k = static_cast<int>(rng() % n);
+    Monomial<TropS> quad{w(rng), {{j, 1}, {k, 1}}, {}};
+    quad.Normalize();
+    sys.poly(i).Add(quad);
+  }
+  return sys;
+}
+
+void PrintTables() {
+  Banner("E13 bench_newton",
+         "Newton vs Kleene iteration counts (intro discussion; [19,41])");
+  std::printf("%-22s %-14s %-16s %-6s\n", "system", "kleene-steps",
+              "newton-iters", "agree");
+  for (int n : {16, 64, 256}) {
+    auto sys = ChainSystem(n);
+    auto kleene = sys.NaiveIterate(1 << 20);
+    auto newton = NewtonSolve<TropS>(sys, 0, 100);
+    std::printf("chain N=%-13d %-14d %-16d %-6s\n", n, kleene.steps,
+                newton.iterations,
+                newton.values == kleene.values ? "yes" : "NO");
+  }
+  for (int n : {8, 16}) {
+    auto sys = RandomQuadratic(n, n);
+    auto kleene = sys.NaiveIterate(1 << 20);
+    auto newton = NewtonSolve<TropS>(sys, 0, 100);
+    std::printf("quadratic N=%-9d %-14d %-16d %-6s\n", n, kleene.steps,
+                newton.iterations,
+                newton.values == kleene.values ? "yes" : "NO");
+  }
+  std::printf(
+      "(shape: Newton needs far fewer iterations, but each one pays an\n"
+      " O(N^3) Jacobian closure — mirroring the paper's cost discussion)\n");
+}
+
+void BM_KleeneChain(benchmark::State& state) {
+  auto sys = ChainSystem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.NaiveIterate(1 << 20).values.data());
+  }
+}
+
+void BM_NewtonChain(benchmark::State& state) {
+  auto sys = ChainSystem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NewtonSolve<TropS>(sys, 0, 100).values.data());
+  }
+}
+
+BENCHMARK(BM_KleeneChain)->Arg(64)->Arg(256);
+BENCHMARK(BM_NewtonChain)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace datalogo
+
+int main(int argc, char** argv) {
+  datalogo::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E5/E6 — Propositions 5.3 and 5.4: stability indexes of Trop+_p (exactly
+// p, tight at 1_p) and of Trop+_{≤η} ({x0} has index ⌈η/x0⌉, unbounded).
+#include "bench/bench_util.h"
+
+namespace datalogo {
+namespace {
+
+template <int kP>
+void TropPRow() {
+  using T = TropPS<kP>;
+  auto unit = ElementStabilityIndex<T>(T::One(), 4 * kP + 8);
+  auto mixed_val = T::Zero();
+  for (int i = 0; i <= kP; ++i) mixed_val[i] = 1.5 * (i + 1);
+  auto mixed = ElementStabilityIndex<T>(mixed_val, 4 * kP + 8);
+  std::printf("Trop+_%d:  index(1_p)=%-3d (expected %d)   index(mixed)=%d\n",
+              kP, unit.value_or(-1), kP, mixed.value_or(-1));
+}
+
+void PrintTables() {
+  Banner("E5/E6 bench_stability",
+         "Prop. 5.3 (Trop+_p is exactly p-stable) and Prop. 5.4 "
+         "(Trop+_eta not uniformly stable)");
+  TropPRow<0>();
+  TropPRow<1>();
+  TropPRow<2>();
+  TropPRow<3>();
+  TropPRow<4>();
+  TropPRow<6>();
+  TropPRow<8>();
+
+  std::printf("\nTrop+_eta with eta = 6:\n  x0      index   ceil(eta/x0)\n");
+  TropEtaS::ScopedEta eta(6.0);
+  for (double x0 : {6.0, 3.0, 2.0, 1.5, 1.0, 0.75, 0.5, 0.25}) {
+    auto idx = ElementStabilityIndex<TropEtaS>(TropEtaS::FromScalar(x0), 200);
+    std::printf("  %-7g %-7d %d\n", x0, idx.value_or(-1),
+                static_cast<int>(std::ceil(6.0 / x0)));
+  }
+  std::printf("(index grows without bound as x0 -> 0: stable, NOT p-stable)\n");
+}
+
+template <int kP>
+void BM_StarTruncated(benchmark::State& state) {
+  using T = TropPS<kP>;
+  typename T::Value u = T::Zero();
+  for (int i = 0; i <= kP; ++i) u[i] = 1.0 + i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StarTruncated<T>(u, kP + 1));
+  }
+}
+
+BENCHMARK(BM_StarTruncated<1>)->Name("star_trop1");
+BENCHMARK(BM_StarTruncated<4>)->Name("star_trop4");
+BENCHMARK(BM_StarTruncated<8>)->Name("star_trop8");
+
+void BM_StabilityProbeTropEta(benchmark::State& state) {
+  TropEtaS::ScopedEta eta(6.0);
+  double x0 = 6.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ElementStabilityIndex<TropEtaS>(TropEtaS::FromScalar(x0), 500));
+  }
+}
+
+BENCHMARK(BM_StabilityProbeTropEta)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace datalogo
+
+int main(int argc, char** argv) {
+  datalogo::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

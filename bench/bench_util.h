@@ -1,0 +1,44 @@
+// Shared helpers for the experiment benches: each bench binary first
+// regenerates its paper artifact (table/series) on stdout, then runs the
+// google-benchmark timings.
+#ifndef DATALOGO_BENCH_BENCH_UTIL_H_
+#define DATALOGO_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* artifact) {
+  std::printf("\n================================================\n");
+  std::printf("%s\n  reproduces: %s\n", experiment, artifact);
+  std::printf("================================================\n");
+}
+
+/// Builds the APSP/TC program over any POPS.
+inline Result<Program> ApspProgram(Domain* dom) {
+  return ParseProgram(R"(
+    edb E/2.
+    idb T/2.
+    T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).
+  )",
+                      dom);
+}
+
+/// Builds the SSSP program (source = vertex "v0").
+inline Result<Program> SsspProgram(Domain* dom) {
+  return ParseProgram(R"(
+    edb E/2.
+    idb L/1.
+    L(X) :- [X = v0] ; L(Z) * E(Z, X).
+  )",
+                      dom);
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_BENCH_BENCH_UTIL_H_

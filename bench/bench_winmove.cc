@@ -1,0 +1,114 @@
+// E11 — Section 7: win-move over THREE vs the alternating fixpoint. The
+// table reproduces the Fig. 4 iteration (W(0)..W(4)) and the J(0)..J(6)
+// alternating table; timings sweep random game boards.
+#include "bench/bench_util.h"
+
+namespace datalogo {
+namespace {
+
+constexpr const char* kWinMove = R"(
+  bedb E/2.
+  idb W/1.
+  W(X) :- { !W(Y) | E(X, Y) }.
+)";
+
+Graph Fig4Graph(std::vector<std::string>* names) {
+  NamedGraph named = PaperFig4();
+  *names = named.names;
+  Graph g(static_cast<int>(named.names.size()));
+  auto index = [&](const std::string& n) {
+    for (std::size_t i = 0; i < named.names.size(); ++i) {
+      if (named.names[i] == n) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const auto& [s, t] : named.edges) g.AddEdge(index(s), index(t));
+  return g;
+}
+
+void PrintTables() {
+  Banner("E11 bench_winmove",
+         "Sec. 7.1/7.2 tables: THREE lfp = well-founded model on Fig. 4");
+  std::vector<std::string> names;
+  Graph g = Fig4Graph(&names);
+
+  // THREE iteration table.
+  Domain dom;
+  auto prog = ParseProgram(kWinMove, &dom).value();
+  std::vector<ConstId> ids;
+  for (const auto& n : names) ids.push_back(dom.InternSymbol(n));
+  EdbInstance<ThreeS> edb(prog);
+  LoadEdgesBool(g, ids, &edb.boolean(prog.FindPredicate("E")));
+  auto grounded = GroundProgram<ThreeS>(prog, edb);
+  std::printf("THREE naive iteration:\n        ");
+  for (const auto& n : names) std::printf("%-5s", n.c_str());
+  std::printf("\n");
+  std::vector<Kleene> x(grounded.num_vars(), ThreeS::Bottom());
+  for (int t = 0;; ++t) {
+    std::printf("W(%d):  ", t);
+    for (const auto& n : names) {
+      int var = grounded.VarOf(prog.FindPredicate("W"),
+                               {*dom.FindSymbol(n)});
+      std::printf("%-5s", ThreeS::ToString(x[var]).c_str());
+    }
+    std::printf("\n");
+    auto next = grounded.system().Evaluate(x);
+    if (next == x || t > 10) break;
+    x = std::move(next);
+  }
+
+  // Alternating fixpoint table.
+  WellFoundedModel wf = AlternatingFixpoint(WinMoveProgram(g));
+  std::printf("\nalternating fixpoint (van Gelder):\n        ");
+  for (const auto& n : names) std::printf("%-3s", n.c_str());
+  std::printf("\n");
+  for (std::size_t t = 0; t < wf.trace.size(); ++t) {
+    std::printf("J(%zu):  ", t);
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      std::printf("%-3d", wf.trace[t][v] ? 1 : 0);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: W(4) = (bot,bot,1,0,1,0); well-founded model has\n"
+              " c,e won; d,f lost; a,b drawn)\n");
+}
+
+void BM_WinMoveThree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Domain dom;
+  auto prog = ParseProgram(kWinMove, &dom).value();
+  Graph g = RandomGraph(n, 2 * n, /*seed=*/21);
+  std::vector<ConstId> ids = InternVertices(n, &dom);
+  EdbInstance<ThreeS> edb(prog);
+  LoadEdgesBool(g, ids, &edb.boolean(prog.FindPredicate("E")));
+  for (auto _ : state) {
+    auto grounded = GroundProgram<ThreeS>(prog, edb);
+    auto iter = grounded.NaiveIterate(10 * n);
+    benchmark::DoNotOptimize(iter.values.data());
+    state.counters["steps"] = iter.steps;
+  }
+}
+
+void BM_WinMoveAlternating(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = RandomGraph(n, 2 * n, /*seed=*/21);
+  NegProgram prog = WinMoveProgram(g);
+  for (auto _ : state) {
+    WellFoundedModel wf = AlternatingFixpoint(prog);
+    benchmark::DoNotOptimize(wf.values.data());
+    state.counters["rounds"] = static_cast<double>(wf.trace.size());
+  }
+}
+
+BENCHMARK(BM_WinMoveThree)->Arg(16)->Arg(48);
+BENCHMARK(BM_WinMoveAlternating)->Arg(16)->Arg(48)->Arg(256);
+
+}  // namespace
+}  // namespace datalogo
+
+int main(int argc, char** argv) {
+  datalogo::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// datalogo_cli: run a datalog° program from files.
+//
+//   datalogo_cli PROGRAM.dl --semiring=trop
+//       --edb E=edges.tsv --bedb G=flags.tsv [--seminaive] [--advise]
+//
+// Semirings: bool, nat, trop, tropnat, fuzzy, viterbi.
+// POPS EDB TSVs carry the value in the last column; Boolean EDB TSVs are
+// key-only. Results are printed as sorted TSV per IDB predicate.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/datalogo.h"
+#include "src/relation/io.h"
+
+namespace {
+
+using namespace datalogo;
+
+struct CliOptions {
+  std::string program_path;
+  std::string semiring = "trop";
+  std::vector<std::pair<std::string, std::string>> edbs;   // pred=path
+  std::vector<std::pair<std::string, std::string>> bedbs;  // pred=path
+  bool seminaive = false;
+  bool advise = false;
+  int max_steps = 100000;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--semiring=", 0) == 0) {
+      opt->semiring = value_of("--semiring=");
+    } else if (arg.rfind("--edb", 0) == 0 && i + 1 <= argc) {
+      std::string spec =
+          arg.rfind("--edb=", 0) == 0 ? value_of("--edb=") : argv[++i];
+      auto eq = spec.find('=');
+      if (eq == std::string::npos) return false;
+      opt->edbs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg.rfind("--bedb", 0) == 0 && i + 1 <= argc) {
+      std::string spec =
+          arg.rfind("--bedb=", 0) == 0 ? value_of("--bedb=") : argv[++i];
+      auto eq = spec.find('=');
+      if (eq == std::string::npos) return false;
+      opt->bedbs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--seminaive") {
+      opt->seminaive = true;
+    } else if (arg == "--advise") {
+      opt->advise = true;
+    } else if (arg.rfind("--max-steps=", 0) == 0) {
+      opt->max_steps = std::stoi(value_of("--max-steps="));
+    } else if (arg.rfind("--", 0) != 0) {
+      opt->program_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opt->program_path.empty();
+}
+
+template <NaturallyOrderedSemiring P, typename ParseFn>
+int RunAs(const CliOptions& opt, const std::string& text,
+          ParseFn&& parse_value) {
+  Domain dom;
+  auto prog = ParseProgram(text, &dom);
+  if (!prog.ok()) {
+    std::fprintf(stderr, "%s\n", prog.status().ToString().c_str());
+    return 1;
+  }
+  Status valid = ValidateProgram(prog.value());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 1;
+  }
+  EdbInstance<P> edb(prog.value());
+  for (const auto& [pred, path] : opt.edbs) {
+    int id = prog.value().FindPredicate(pred);
+    if (id < 0 || prog.value().predicate(id).kind != PredKind::kEdb) {
+      std::fprintf(stderr, "unknown POPS EDB predicate '%s'\n",
+                   pred.c_str());
+      return 1;
+    }
+    std::string tsv;
+    if (!ReadFile(path, &tsv)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    Status s = LoadTsv<P>(tsv, &dom, &edb.pops(id), parse_value);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), s.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& [pred, path] : opt.bedbs) {
+    int id = prog.value().FindPredicate(pred);
+    if (id < 0 || prog.value().predicate(id).kind != PredKind::kBoolEdb) {
+      std::fprintf(stderr, "unknown Boolean EDB predicate '%s'\n",
+                   pred.c_str());
+      return 1;
+    }
+    std::string tsv;
+    if (!ReadFile(path, &tsv)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    Status s = LoadTsvBool(tsv, &dom, &edb.boolean(id));
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (opt.advise) {
+    auto grounded = GroundProgram<P>(prog.value(), edb);
+    ConvergenceReport report = Advise(grounded);
+    std::printf("# advisor: %s (%s); linear=%d recursive=%d N=%d\n",
+                VerdictName(report.verdict), report.explanation.c_str(),
+                report.linear, report.recursive, report.num_vars);
+  }
+
+  Engine<P> engine(prog.value(), edb);
+  EvalResult<P> result = [&] {
+    if constexpr (CompleteDistributiveDioid<P>) {
+      if (opt.seminaive) return engine.SemiNaive(opt.max_steps);
+      return engine.Naive(opt.max_steps);
+    } else {
+      return engine.Naive(opt.max_steps);
+    }
+  }();
+  if (!result.converged) {
+    std::fprintf(stderr,
+                 "did not converge within %d steps (diverging program?)\n",
+                 opt.max_steps);
+    return 2;
+  }
+  std::printf("# converged, stability index %d\n", result.steps);
+  for (int pred : prog.value().IdbPredicates()) {
+    std::printf("## %s\n%s", prog.value().predicate(pred).name.c_str(),
+                DumpTsv(result.idb.idb(pred), dom).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    std::fprintf(stderr,
+                 "usage: datalogo_cli PROGRAM.dl [--semiring=NAME] "
+                 "[--edb P=FILE]... [--bedb P=FILE]... [--seminaive] "
+                 "[--advise] [--max-steps=N]\n"
+                 "semirings: bool nat trop tropnat fuzzy viterbi\n");
+    return 1;
+  }
+  std::string text;
+  if (!ReadFile(opt.program_path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", opt.program_path.c_str());
+    return 1;
+  }
+  const std::string& s = opt.semiring;
+  if (s == "trop") {
+    return RunAs<TropS>(opt, text, ParseDoubleValue);
+  } else if (s == "bool") {
+    return RunAs<BoolS>(opt, text, ParseBoolValue);
+  } else if (s == "nat") {
+    return RunAs<NatS>(opt, text, ParseUintValue);
+  } else if (s == "tropnat") {
+    return RunAs<TropNatS>(opt, text, ParseUintValue);
+  } else if (s == "fuzzy") {
+    return RunAs<FuzzyS>(opt, text, ParseDoubleValue);
+  } else if (s == "viterbi") {
+    return RunAs<ViterbiS>(opt, text, ParseDoubleValue);
+  }
+  std::fprintf(stderr, "unknown semiring '%s'\n", s.c_str());
+  return 1;
+}

@@ -1,0 +1,57 @@
+// Section 4.5 "Case Statements": the prefix-sum program
+//   W(i) :- case i = 0 : V(0);  i < n : W(i-1) + V(i)
+// desugared into a sum-sum-product with conditions, evaluated over the
+// min-plus naturals so ⊗ = + performs the running sum.
+#include <cstdio>
+
+#include "src/datalogo.h"
+
+namespace {
+
+constexpr const char* kPrefix = R"(
+  edb V/1.
+  bedb Succ/2.
+  idb W/1.
+  W(I) :- { V(I) | I = 0 } ; { W(J) * V(I) | Succ(J, I) }.
+)";
+
+}  // namespace
+
+int main() {
+  using namespace datalogo;
+  std::printf("prefix-sum via desugared case statement:\n%s\n", kPrefix);
+
+  Domain dom;
+  auto prog = ParseProgram(kPrefix, &dom).value();
+  Status valid = ValidateProgram(prog);
+  if (!valid.ok()) {
+    std::printf("invalid: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+
+  const int n = 12;
+  EdbInstance<TropNatS> edb(prog);
+  std::printf("V = ");
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = (i * 7 + 3) % 10;
+    std::printf("%lu ", static_cast<unsigned long>(v));
+    edb.pops(prog.FindPredicate("V")).Set({dom.InternInt(i)}, v);
+    if (i > 0) {
+      edb.boolean(prog.FindPredicate("Succ"))
+          .Set({dom.InternInt(i - 1), dom.InternInt(i)}, true);
+    }
+  }
+  std::printf("\n");
+
+  Engine<TropNatS> engine(prog, edb);
+  auto semi = engine.SemiNaive(1000);
+  std::printf("semi-naive converged in %d iterations\nW = ", semi.steps);
+  int w = prog.FindPredicate("W");
+  for (int i = 0; i < n; ++i) {
+    std::printf("%s ",
+                TropNatS::ToString(semi.idb.idb(w).Get({dom.InternInt(i)}))
+                    .c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

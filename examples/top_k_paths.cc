@@ -1,0 +1,65 @@
+// Top-k routing: the APSP rule over Trop+_p computes, per vertex pair,
+// the p+1 cheapest route lengths (Example 1.1's "top p+1 shortest paths"
+// interpretation) — here on a small road network with alternate routes,
+// plus the convergence advisor's Theorem 1.2 prediction.
+#include <cstdio>
+
+#include "src/datalogo.h"
+
+int main() {
+  using namespace datalogo;
+  using T = TropPS<2>;  // 3 cheapest routes per pair
+
+  constexpr const char* kProgram = R"(
+    edb Road/2.
+    idb Route/2.
+    Route(X,Y) :- Road(X,Y) ; Route(X,Z) * Road(Z,Y).
+  )";
+  std::printf("top-3 route lengths over Trop+_2:\n%s\n", kProgram);
+
+  Domain dom;
+  auto prog = ParseProgram(kProgram, &dom).value();
+
+  // A small road network: two towns connected by a fast highway, a slow
+  // scenic road, and a detour through a village.
+  struct RoadSpec {
+    const char *from, *to;
+    double km;
+  };
+  const RoadSpec roads[] = {
+      {"depot", "junction", 4},   {"junction", "city", 6},
+      {"depot", "city", 14},      {"depot", "village", 7},
+      {"village", "city", 5},     {"junction", "village", 2},
+      {"city", "depot", 12},
+  };
+  EdbInstance<T> edb(prog);
+  for (const RoadSpec& r : roads) {
+    edb.pops(prog.FindPredicate("Road"))
+        .Merge({dom.InternSymbol(r.from), dom.InternSymbol(r.to)},
+               T::FromScalar(r.km));
+  }
+
+  auto grounded = GroundProgram<T>(prog, edb);
+  ConvergenceReport report = Advise(grounded);
+  std::printf("advisor: %s — %s (bound %llu, N = %d)\n\n",
+              VerdictName(report.verdict), report.explanation.c_str(),
+              static_cast<unsigned long long>(report.bound),
+              report.num_vars);
+
+  auto iter = grounded.NaiveIterate(100000);
+  std::printf("converged after stability index %d\n\n", iter.steps);
+  IdbInstance<T> idb = grounded.Decode(iter.values);
+  int route = prog.FindPredicate("Route");
+  for (const char* from : {"depot", "junction", "village"}) {
+    for (const char* to : {"city", "depot"}) {
+      auto v = idb.idb(route).Get(
+          {*dom.FindSymbol(from), *dom.FindSymbol(to)});
+      std::printf("%-9s -> %-6s  %s km\n", from, to,
+                  T::ToString(v).c_str());
+    }
+  }
+  std::printf(
+      "\ndepot -> city offers 10 (junction highway), 11 (junction +\n"
+      "village detour) and 12 (via village) before the direct 14 km road.\n");
+  return 0;
+}

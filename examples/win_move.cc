@@ -1,0 +1,80 @@
+// Section 7: the win-move game. datalog° over the POPS THREE computes
+// Fitting's three-valued semantics, which on this program coincides with
+// the well-founded model — compare both side by side on Fig. 4 and on a
+// random game board.
+#include <cstdio>
+
+#include "src/datalogo.h"
+
+namespace {
+
+using namespace datalogo;
+
+constexpr const char* kWinMove = R"(
+  bedb E/2.
+  idb W/1.
+  W(X) :- { !W(Y) | E(X, Y) }.
+)";
+
+const char* Show(Kleene v) {
+  switch (v) {
+    case Kleene::kTrue:
+      return "win";
+    case Kleene::kFalse:
+      return "lose";
+    default:
+      return "draw";
+  }
+}
+
+void Compare(const Graph& g, const std::vector<std::string>& names) {
+  // datalog° over THREE.
+  Domain dom;
+  auto prog = ParseProgram(kWinMove, &dom).value();
+  std::vector<ConstId> ids;
+  for (const std::string& n : names) ids.push_back(dom.InternSymbol(n));
+  EdbInstance<ThreeS> edb(prog);
+  LoadEdgesBool(g, ids, &edb.boolean(prog.FindPredicate("E")));
+  auto grounded = GroundProgram<ThreeS>(prog, edb);
+  auto iter = grounded.NaiveIterate(1000);
+
+  // Well-founded baseline.
+  WellFoundedModel wf = AlternatingFixpoint(WinMoveProgram(g));
+
+  std::printf("%-8s %-14s %-14s\n", "node", "THREE lfp", "well-founded");
+  bool agree = true;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    int var = grounded.VarOf(prog.FindPredicate("W"), {ids[v]});
+    Kleene three = var >= 0 ? iter.values[var] : Kleene::kFalse;
+    std::printf("%-8s %-14s %-14s\n", names[v].c_str(), Show(three),
+                Show(wf.values[v]));
+    if (three != wf.values[v]) agree = false;
+  }
+  std::printf("THREE converged in %d steps; models %s\n\n", iter.steps,
+              agree ? "AGREE" : "DIFFER (unexpected!)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("win-move (Eq. 67):\n%s\n", kWinMove);
+
+  std::printf("=== Fig. 4 ===\n");
+  NamedGraph named = PaperFig4();
+  Graph fig(6);
+  auto index = [&](const std::string& n) {
+    for (std::size_t i = 0; i < named.names.size(); ++i) {
+      if (named.names[i] == n) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const auto& [s, t] : named.edges) fig.AddEdge(index(s), index(t));
+  Compare(fig, named.names);
+
+  std::printf("=== random 10-node board ===\n");
+  Graph rnd = RandomGraph(10, 16, /*seed=*/4);
+  std::vector<std::string> names;
+  for (int i = 0; i < 10; ++i) names.push_back("n" + std::to_string(i));
+  Compare(rnd, names);
+  return 0;
+}

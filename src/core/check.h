@@ -1,0 +1,27 @@
+// Internal invariant checking. CHECK-style macros abort on violation; they
+// guard programmer errors, not user input (user input goes through Status).
+#ifndef DATALOGO_CORE_CHECK_H_
+#define DATALOGO_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DLO_CHECK(cond)                                                       \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                    \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define DLO_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // DATALOGO_CORE_CHECK_H_

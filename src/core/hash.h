@@ -1,0 +1,28 @@
+// Hash combinators used by tuples and relation indexes.
+#ifndef DATALOGO_CORE_HASH_H_
+#define DATALOGO_CORE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace datalogo {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of integral ids.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = first; it != last; ++it) {
+    HashCombine(seed, std::hash<uint64_t>{}(static_cast<uint64_t>(*it)));
+  }
+  return seed;
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_CORE_HASH_H_

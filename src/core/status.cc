@@ -1,0 +1,33 @@
+#include "src/core/status.h"
+
+namespace datalogo {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case Code::kParseError:
+      return "PARSE_ERROR";
+    case Code::kNotFound:
+      return "NOT_FOUND";
+    case Code::kUnsupported:
+      return "UNSUPPORTED";
+    case Code::kDiverged:
+      return "DIVERGED";
+    case Code::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace datalogo

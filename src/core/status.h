@@ -1,0 +1,104 @@
+// Lightweight Status / Result types for fallible operations (parsing,
+// program validation). The public API does not throw across boundaries.
+#ifndef DATALOGO_CORE_STATUS_H_
+#define DATALOGO_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/core/check.h"
+
+namespace datalogo {
+
+/// Error categories used across the library.
+enum class Code {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kUnsupported,
+  kDiverged,
+  kInternal,
+};
+
+/// Returns a short human-readable name for an error code.
+const char* CodeName(Code code);
+
+/// Success-or-error result of an operation, carrying a message on error.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(Code::kInvalidArgument, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(Code::kParseError, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(Code::kNotFound, std::move(msg));
+}
+inline Status Unsupported(std::string msg) {
+  return Status(Code::kUnsupported, std::move(msg));
+}
+inline Status Diverged(std::string msg) {
+  return Status(Code::kDiverged, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(Code::kInternal, std::move(msg));
+}
+
+/// A value of type T or a Status error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}             // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {       // NOLINT(runtime/explicit)
+    DLO_CHECK_MSG(!std::get<Status>(rep_).ok(),
+                  "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    DLO_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    DLO_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    DLO_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(rep_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_CORE_STATUS_H_

@@ -1,0 +1,109 @@
+// The convergence advisor: Theorem 1.2 as an API. Given a grounded
+// program over a classified POPS, predicts which of the paper's cases
+// (iii)-(v) applies and produces the step bound the theorem guarantees.
+#ifndef DATALOGO_DATALOG_ADVISOR_H_
+#define DATALOGO_DATALOG_ADVISOR_H_
+
+#include <string>
+
+#include "src/datalog/grounder.h"
+#include "src/fixpoint/fixpoint.h"
+#include "src/semiring/classification.h"
+
+namespace datalogo {
+
+/// Theorem 1.2 verdict for a (program, POPS) pair.
+enum class ConvergenceVerdict {
+  /// Case (v): 0-stable core — converges within N steps, PTIME.
+  kPolynomialTime,
+  /// Case (iv): p-stable core — converges within Σ(p+2)^i (or Σ(p+1)^i if
+  /// linear) steps, independent of the EDB values.
+  kBoundedSteps,
+  /// Case (iii): stable core — converges, steps may depend on the values.
+  kConverges,
+  /// The core semiring has unstable elements: recursive programs may
+  /// diverge (only non-recursive groundings are safe).
+  kMayDiverge,
+};
+
+/// A convergence prediction with the Theorem 1.2 bound (when applicable).
+struct ConvergenceReport {
+  ConvergenceVerdict verdict = ConvergenceVerdict::kMayDiverge;
+  bool linear = false;
+  bool recursive = false;
+  int num_vars = 0;
+  /// Theorem 5.12 step bound; kBoundInf when no uniform bound exists.
+  uint64_t bound = kBoundInf;
+  std::string explanation;
+};
+
+/// Applies Theorem 1.2 / Corollaries 5.17-5.19 to a grounded program.
+template <Pops P>
+ConvergenceReport Advise(const GroundedProgram<P>& grounded) {
+  using C = CoreStability<P>;
+  ConvergenceReport r;
+  r.linear = grounded.system().IsLinear();
+  r.num_vars = grounded.num_vars();
+  const auto recursive = grounded.system().RecursiveVars();
+  for (bool rec : recursive) {
+    if (rec) r.recursive = true;
+  }
+
+  if (!r.recursive) {
+    // An acyclic grounding converges within N steps over ANY POPS
+    // (Sec. 5.4 discussion: the dependency graph is a DAG).
+    r.verdict = ConvergenceVerdict::kPolynomialTime;
+    r.bound = static_cast<uint64_t>(r.num_vars);
+    r.explanation = "grounded dependency graph is acyclic";
+    return r;
+  }
+  switch (C::kClass) {
+    case StabilityClass::kUniformlyStable:
+      if (C::kP == 0) {
+        r.verdict = ConvergenceVerdict::kPolynomialTime;
+        r.bound = static_cast<uint64_t>(r.num_vars);
+        r.explanation =
+            "core semiring is 0-stable: N-step bound (Thm 5.12(2))";
+      } else {
+        r.verdict = ConvergenceVerdict::kBoundedSteps;
+        r.bound = grounded.system().ConvergenceBound(C::kP);
+        r.explanation = "core semiring is p-stable with p = " +
+                        std::to_string(C::kP) + " (Thm 5.12(1))";
+      }
+      break;
+    case StabilityClass::kStable:
+      r.verdict = ConvergenceVerdict::kConverges;
+      r.bound = kBoundInf;
+      r.explanation =
+          "core semiring stable but not uniformly: converges, steps "
+          "depend on the EDB values (Thm 5.10)";
+      break;
+    case StabilityClass::kUnstable:
+      r.verdict = ConvergenceVerdict::kMayDiverge;
+      r.bound = kBoundInf;
+      r.explanation =
+          "core semiring has non-stable elements: recursion may diverge "
+          "(Thm 1.2, necessity direction)";
+      break;
+  }
+  return r;
+}
+
+/// Printable verdict name.
+inline const char* VerdictName(ConvergenceVerdict v) {
+  switch (v) {
+    case ConvergenceVerdict::kPolynomialTime:
+      return "POLYNOMIAL_TIME";
+    case ConvergenceVerdict::kBoundedSteps:
+      return "BOUNDED_STEPS";
+    case ConvergenceVerdict::kConverges:
+      return "CONVERGES";
+    case ConvergenceVerdict::kMayDiverge:
+      return "MAY_DIVERGE";
+  }
+  return "?";
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_DATALOG_ADVISOR_H_

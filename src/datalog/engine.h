@@ -1,0 +1,473 @@
+// The support-based relational engine: naive evaluation (Algorithm 1) and
+// semi-naive evaluation with the differential rule (Algorithm 3, Theorems
+// 6.4/6.5). Sound for naturally ordered semirings, where ⊥ = 0 is both the
+// additive identity and absorbing, so tuples outside the stored support can
+// never influence a result. For general POPS use the grounded engine
+// (grounder.h).
+#ifndef DATALOGO_DATALOG_ENGINE_H_
+#define DATALOGO_DATALOG_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/core/status.h"
+#include "src/datalog/ast.h"
+#include "src/datalog/instance.h"
+#include "src/relation/relation.h"
+#include "src/semiring/boolean.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// Outcome of an evaluation run.
+template <Pops P>
+struct EvalResult {
+  IdbInstance<P> idb;
+  /// Number of ICO applications (naive) or loop iterations (semi-naive).
+  int steps = 0;
+  bool converged = false;
+  /// Join-work counter: generator entries visited (for the Sec. 6 benches).
+  uint64_t work = 0;
+};
+
+/// Relational evaluation of a datalog° program over a naturally ordered
+/// semiring. Compiles each sum-product into a join plan once, then applies
+/// the ICO by index nested-loop joins over relation supports.
+template <NaturallyOrderedSemiring P>
+class Engine {
+ public:
+  Engine(const Program& prog, const EdbInstance<P>& edb)
+      : prog_(&prog), edb_(&edb) {
+    Compile();
+  }
+
+  /// Algorithm 1: J ← F(J) from ⊥ until fixpoint (or budget).
+  EvalResult<P> Naive(int max_steps) const {
+    std::vector<int> all(compiled_.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    return NaiveWithRules(all, IdbInstance<P>(*prog_), max_steps);
+  }
+
+  /// Naive evaluation restricted to a rule subset, iterating from (and
+  /// re-seeding each round with) `frozen` — the building block for
+  /// stratified evaluation (Sec. 4.5 "Multiple Value Spaces", Sec. 6.4):
+  /// lower-stratum relations live in `frozen` and stay fixed.
+  EvalResult<P> NaiveWithRules(const std::vector<int>& rule_ids,
+                               const IdbInstance<P>& frozen,
+                               int max_steps) const {
+    IdbInstance<P> j = frozen;
+    uint64_t work = 0;
+    for (int t = 0; t < max_steps; ++t) {
+      IdbInstance<P> next = frozen;
+      for (int r : rule_ids) {
+        DLO_CHECK(r >= 0 && r < static_cast<int>(compiled_.size()));
+        ApplyRule(compiled_[r], j, &next, &work);
+      }
+      if (next.Equals(j)) {
+        return {std::move(j), t, true, work};
+      }
+      j = std::move(next);
+    }
+    return {std::move(j), max_steps, false, work};
+  }
+
+  /// Algorithm 3 WITHOUT the differential rule — the ablation the paper
+  /// discusses in Sec. 6.3: δ(t) = F(J(t)) ⊖ J(t) computed by a full ICO
+  /// application. Correct (Theorem 6.4) but does as much join work as
+  /// naive; exists to quantify what Eq. (64)/(65) buy.
+  EvalResult<P> SemiNaiveNonDifferential(int max_steps) const
+    requires CompleteDistributiveDioid<P>
+  {
+    IdbInstance<P> j(*prog_);
+    uint64_t work = 0;
+    for (int t = 0; t < max_steps; ++t) {
+      IdbInstance<P> f(*prog_);
+      ApplyIco(j, &f, &work);
+      bool any_delta = false;
+      for (int pred : prog_->IdbPredicates()) {
+        for (const auto& [tuple, fv] : f.idb(pred).tuples()) {
+          typename P::Value d = P::Minus(fv, j.idb(pred).Get(tuple));
+          if (!P::Eq(d, P::Zero())) {
+            j.idb(pred).Merge(tuple, d);
+            any_delta = true;
+          }
+        }
+      }
+      if (!any_delta) {
+        return {std::move(j), t, true, work};
+      }
+    }
+    return {std::move(j), max_steps, false, work};
+  }
+
+  /// Algorithm 3 with the differential rule (Eq. 65): requires a complete
+  /// distributive dioid for ⊖. Returns the same fixpoint as Naive
+  /// (Theorem 6.4).
+  EvalResult<P> SemiNaive(int max_steps) const
+    requires CompleteDistributiveDioid<P>
+  {
+    uint64_t work = 0;
+    IdbInstance<P> t_old(*prog_);   // T(t-1)
+    IdbInstance<P> t_new(*prog_);   // T(t)
+    IdbInstance<P> delta(*prog_);   // δ(t-1)
+
+    // t = 0: δ(0) = F(0) ⊖ 0 = F(0); T(1) = δ(0).
+    ApplyIco(t_new /*empty*/, &delta, &work);
+    bool empty = true;
+    for (int pred : prog_->IdbPredicates()) {
+      if (!delta.idb(pred).empty()) empty = false;
+    }
+    if (empty) return {std::move(t_new), 1, true, work};
+    t_new = delta;
+
+    for (int t = 1; t < max_steps; ++t) {
+      // Candidate C_i = ⊕_ℓ G_i(.., δ_ℓ, ..) using new/old T per Eq. (64).
+      IdbInstance<P> candidate(*prog_);
+      for (const CompiledRule& cr : compiled_) {
+        for (const CompiledDisjunct& cd : cr.disjuncts) {
+          const int occurrences = static_cast<int>(cd.idb_atoms.size());
+          if (occurrences == 0) continue;  // the EDB-only part E_i, Eq. (65)
+          for (int ell = 0; ell < occurrences; ++ell) {
+            auto resolver = [&](int atom_index) -> const Relation<P>& {
+              int pred = cr.rule->disjuncts[cd.disjunct_index]
+                             .atoms[atom_index]
+                             .pred;
+              // Which IDB occurrence is this atom?
+              int occ = -1;
+              for (int k = 0; k < occurrences; ++k) {
+                if (cd.idb_atoms[k] == atom_index) {
+                  occ = k;
+                  break;
+                }
+              }
+              DLO_CHECK(occ >= 0);
+              if (occ < ell) return t_new.idb(pred);
+              if (occ == ell) return delta.idb(pred);
+              return t_old.idb(pred);
+            };
+            EvalDisjunct(cr, cd, resolver,
+                         &candidate.idb(cr.rule->head.pred), &work);
+          }
+        }
+      }
+      // δ(t) = C ⊖ T(t), per tuple of C's support.
+      IdbInstance<P> next_delta(*prog_);
+      bool all_empty = true;
+      for (int pred : prog_->IdbPredicates()) {
+        for (const auto& [tuple, cval] : candidate.idb(pred).tuples()) {
+          typename P::Value d = P::Minus(cval, t_new.idb(pred).Get(tuple));
+          if (!P::Eq(d, P::Zero())) {
+            next_delta.idb(pred).Set(tuple, d);
+            all_empty = false;
+          }
+        }
+      }
+      if (all_empty) {
+        return {std::move(t_new), t + 1, true, work};
+      }
+      // T(t+1) = T(t) ⊕ δ(t).
+      t_old = t_new;
+      for (int pred : prog_->IdbPredicates()) {
+        for (const auto& [tuple, dval] : next_delta.idb(pred).tuples()) {
+          t_new.idb(pred).Merge(tuple, dval);
+        }
+      }
+      delta = std::move(next_delta);
+    }
+    return {std::move(t_new), max_steps, false, work};
+  }
+
+ private:
+  static constexpr ConstId kUnbound = static_cast<ConstId>(-1);
+
+  /// One join generator: a POPS atom or a positive Boolean condition atom.
+  struct Generator {
+    bool is_bool = false;
+    int atom_index = -1;       ///< into sp.atoms or sp.conditions
+    const Atom* atom = nullptr;
+    std::vector<int> key_positions;  ///< arg positions bound beforehand
+  };
+
+  struct CompiledDisjunct {
+    int disjunct_index = 0;
+    const SumProduct* sp = nullptr;
+    std::vector<std::pair<int, ConstId>> prebindings;
+    std::vector<Generator> generators;
+    std::vector<const Condition*> residual;
+    std::vector<int> idb_atoms;  ///< indexes of IDB atoms in sp->atoms
+  };
+
+  struct CompiledRule {
+    const Rule* rule = nullptr;
+    std::vector<CompiledDisjunct> disjuncts;
+  };
+
+  void Compile() {
+    for (const Rule& rule : prog_->rules()) {
+      CompiledRule cr;
+      cr.rule = &rule;
+      for (std::size_t d = 0; d < rule.disjuncts.size(); ++d) {
+        const SumProduct& sp = rule.disjuncts[d];
+        CompiledDisjunct cd;
+        cd.disjunct_index = static_cast<int>(d);
+        cd.sp = &sp;
+
+        // Pre-bindings from `Var = const` equality chains.
+        std::vector<ConstId> pre(rule.num_vars, kUnbound);
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (const Condition& c : sp.conditions) {
+            if (c.kind != Condition::Kind::kCompare || c.op != CmpOp::kEq) {
+              continue;
+            }
+            auto ground = [&](const Term& t) -> ConstId {
+              if (!t.IsVar()) return t.constant;
+              return pre[t.var];
+            };
+            auto bind = [&](const Term& a, const Term& b) {
+              if (a.IsVar() && pre[a.var] == kUnbound &&
+                  ground(b) != kUnbound) {
+                pre[a.var] = ground(b);
+                changed = true;
+              }
+            };
+            bind(c.lhs, c.rhs);
+            bind(c.rhs, c.lhs);
+          }
+        }
+        std::vector<bool> bound(rule.num_vars, false);
+        for (int v = 0; v < rule.num_vars; ++v) {
+          if (pre[v] != kUnbound) {
+            cd.prebindings.emplace_back(v, pre[v]);
+            bound[v] = true;
+          }
+        }
+
+        auto add_generator = [&](bool is_bool, int index, const Atom& a) {
+          Generator g;
+          g.is_bool = is_bool;
+          g.atom_index = index;
+          g.atom = &a;
+          for (std::size_t p = 0; p < a.args.size(); ++p) {
+            const Term& t = a.args[p];
+            if (!t.IsVar() || bound[t.var]) {
+              g.key_positions.push_back(static_cast<int>(p));
+            }
+          }
+          for (const Term& t : a.args) {
+            if (t.IsVar()) bound[t.var] = true;
+          }
+          cd.generators.push_back(std::move(g));
+        };
+
+        for (std::size_t i = 0; i < sp.atoms.size(); ++i) {
+          const Atom& a = sp.atoms[i];
+          DLO_CHECK_MSG(!a.negated,
+                        "negated POPS atoms require the grounded engine");
+          add_generator(false, static_cast<int>(i), a);
+          if (prog_->predicate(a.pred).kind == PredKind::kIdb) {
+            cd.idb_atoms.push_back(static_cast<int>(i));
+          }
+        }
+        for (std::size_t i = 0; i < sp.conditions.size(); ++i) {
+          const Condition& c = sp.conditions[i];
+          if (c.kind != Condition::Kind::kBoolAtom) continue;
+          bool binds_new = false;
+          for (const Term& t : c.atom.args) {
+            if (t.IsVar() && !bound[t.var]) binds_new = true;
+          }
+          if (binds_new) {
+            add_generator(true, static_cast<int>(i), c.atom);
+          }
+        }
+        // Residual checks: everything except bool atoms used as generators.
+        for (std::size_t i = 0; i < sp.conditions.size(); ++i) {
+          const Condition& c = sp.conditions[i];
+          bool is_generator = false;
+          for (const Generator& g : cd.generators) {
+            if (g.is_bool && g.atom_index == static_cast<int>(i)) {
+              is_generator = true;
+              break;
+            }
+          }
+          if (!is_generator) cd.residual.push_back(&c);
+        }
+        cr.disjuncts.push_back(std::move(cd));
+      }
+      compiled_.push_back(std::move(cr));
+    }
+  }
+
+  /// F(J) evaluated into `out` (fresh instance), counting join work.
+  void ApplyIco(const IdbInstance<P>& j, IdbInstance<P>* out,
+                uint64_t* work) const {
+    for (const CompiledRule& cr : compiled_) {
+      ApplyRule(cr, j, out, work);
+    }
+  }
+
+  /// One rule's contribution to F(J), merged into `out`.
+  void ApplyRule(const CompiledRule& cr, const IdbInstance<P>& j,
+                 IdbInstance<P>* out, uint64_t* work) const {
+    for (const CompiledDisjunct& cd : cr.disjuncts) {
+      auto resolver = [&](int atom_index) -> const Relation<P>& {
+        int pred =
+            cr.rule->disjuncts[cd.disjunct_index].atoms[atom_index].pred;
+        return j.idb(pred);
+      };
+      EvalDisjunct(cr, cd, resolver, &out->idb(cr.rule->head.pred), work);
+    }
+  }
+
+  ConstId GroundTerm(const Term& t,
+                     const std::vector<ConstId>& binding) const {
+    if (!t.IsVar()) return t.constant;
+    return binding[t.var];
+  }
+
+  bool CheckCondition(const Condition& c,
+                      const std::vector<ConstId>& binding) const {
+    switch (c.kind) {
+      case Condition::Kind::kBoolAtom:
+      case Condition::Kind::kNegBoolAtom: {
+        Tuple t;
+        t.reserve(c.atom.args.size());
+        for (const Term& term : c.atom.args) {
+          ConstId id = GroundTerm(term, binding);
+          DLO_CHECK(id != kUnbound);
+          t.push_back(id);
+        }
+        bool holds = edb_->boolean(c.atom.pred).Get(t);
+        return c.kind == Condition::Kind::kBoolAtom ? holds : !holds;
+      }
+      case Condition::Kind::kCompare: {
+        ConstId l = GroundTerm(c.lhs, binding);
+        ConstId r = GroundTerm(c.rhs, binding);
+        DLO_CHECK(l != kUnbound && r != kUnbound);
+        if (c.op == CmpOp::kEq) return l == r;
+        if (c.op == CmpOp::kNe) return l != r;
+        auto li = prog_->domain()->AsInt(l);
+        auto ri = prog_->domain()->AsInt(r);
+        DLO_CHECK_MSG(li.has_value() && ri.has_value(),
+                      "order comparison requires integer constants");
+        switch (c.op) {
+          case CmpOp::kLt:
+            return *li < *ri;
+          case CmpOp::kLe:
+            return *li <= *ri;
+          case CmpOp::kGt:
+            return *li > *ri;
+          case CmpOp::kGe:
+            return *li >= *ri;
+          default:
+            return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Evaluates one sum-product under `resolver` (mapping IDB atom indexes
+  /// to the relation instance to read), merging results into `out`.
+  template <typename Resolver>
+  void EvalDisjunct(const CompiledRule& cr, const CompiledDisjunct& cd,
+                    Resolver&& resolver, Relation<P>* out,
+                    uint64_t* work) const {
+    std::vector<ConstId> binding(cr.rule->num_vars, kUnbound);
+    for (const auto& [v, c] : cd.prebindings) binding[v] = c;
+
+    // Build per-generator indexes for this evaluation.
+    std::vector<std::unique_ptr<RelationIndex<P>>> pops_idx(
+        cd.generators.size());
+    std::vector<std::unique_ptr<RelationIndex<BoolS>>> bool_idx(
+        cd.generators.size());
+    for (std::size_t g = 0; g < cd.generators.size(); ++g) {
+      const Generator& gen = cd.generators[g];
+      if (gen.is_bool) {
+        bool_idx[g] = std::make_unique<RelationIndex<BoolS>>(
+            edb_->boolean(gen.atom->pred), gen.key_positions);
+      } else {
+        const Relation<P>& rel =
+            prog_->predicate(gen.atom->pred).kind == PredKind::kIdb
+                ? resolver(gen.atom_index)
+                : edb_->pops(gen.atom->pred);
+        pops_idx[g] = std::make_unique<RelationIndex<P>>(rel,
+                                                         gen.key_positions);
+      }
+    }
+
+    // Recursive index nested-loop join.
+    std::function<void(std::size_t, typename P::Value)> recurse =
+        [&](std::size_t g, typename P::Value acc) {
+          if (g == cd.generators.size()) {
+            for (const Condition* c : cd.residual) {
+              if (!CheckCondition(*c, binding)) return;
+            }
+            if (P::Eq(acc, P::Zero())) return;
+            Tuple head;
+            head.reserve(cr.rule->head.args.size());
+            for (const Term& t : cr.rule->head.args) {
+              ConstId id = GroundTerm(t, binding);
+              DLO_CHECK_MSG(id != kUnbound, "unbound head variable");
+              head.push_back(id);
+            }
+            out->Merge(head, acc);
+            return;
+          }
+          const Generator& gen = cd.generators[g];
+          Tuple key;
+          key.reserve(gen.key_positions.size());
+          for (int p : gen.key_positions) {
+            ConstId id = GroundTerm(gen.atom->args[p], binding);
+            DLO_CHECK(id != kUnbound);
+            key.push_back(id);
+          }
+          auto try_entry = [&](const Tuple& tuple,
+                               const typename P::Value* value) {
+            ++*work;
+            // Dynamic consistency check + binding of new variables.
+            std::vector<int> bound_here;
+            for (std::size_t p = 0; p < gen.atom->args.size(); ++p) {
+              const Term& t = gen.atom->args[p];
+              ConstId expect = GroundTerm(t, binding);
+              if (expect != kUnbound) {
+                if (expect != tuple[p]) {
+                  for (int v : bound_here) binding[v] = kUnbound;
+                  return;
+                }
+              } else {
+                binding[t.var] = tuple[p];
+                bound_here.push_back(t.var);
+              }
+            }
+            typename P::Value next_acc =
+                value ? P::Times(acc, *value) : acc;
+            recurse(g + 1, std::move(next_acc));
+            for (int v : bound_here) binding[v] = kUnbound;
+          };
+          if (gen.is_bool) {
+            for (const auto* entry : bool_idx[g]->Lookup(key)) {
+              try_entry(entry->first, nullptr);
+            }
+          } else {
+            for (const auto* entry : pops_idx[g]->Lookup(key)) {
+              try_entry(entry->first, &entry->second);
+            }
+          }
+        };
+    recurse(0, P::One());
+  }
+
+  const Program* prog_;
+  const EdbInstance<P>* edb_;
+  std::vector<CompiledRule> compiled_;
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_DATALOG_ENGINE_H_

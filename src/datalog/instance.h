@@ -1,0 +1,134 @@
+// EDB and IDB instances: per-predicate K-relations for one program.
+#ifndef DATALOGO_DATALOG_INSTANCE_H_
+#define DATALOGO_DATALOG_INSTANCE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/datalog/ast.h"
+#include "src/relation/relation.h"
+#include "src/semiring/boolean.h"
+
+namespace datalogo {
+
+/// Input instance (I, I_B): POPS relations for σ, Boolean relations for σ_B.
+template <Pops P>
+class EdbInstance {
+ public:
+  explicit EdbInstance(const Program& prog) : prog_(&prog) {
+    pops_.reserve(prog.num_predicates());
+    bools_.reserve(prog.num_predicates());
+    for (int i = 0; i < prog.num_predicates(); ++i) {
+      pops_.emplace_back(prog.predicate(i).arity);
+      bools_.emplace_back(prog.predicate(i).arity);
+    }
+  }
+
+  const Program& program() const { return *prog_; }
+
+  Relation<P>& pops(int pred) {
+    DLO_CHECK(prog_->predicate(pred).kind == PredKind::kEdb);
+    return pops_[pred];
+  }
+  const Relation<P>& pops(int pred) const {
+    DLO_CHECK(prog_->predicate(pred).kind == PredKind::kEdb);
+    return pops_[pred];
+  }
+
+  Relation<BoolS>& boolean(int pred) {
+    DLO_CHECK(prog_->predicate(pred).kind == PredKind::kBoolEdb);
+    return bools_[pred];
+  }
+  const Relation<BoolS>& boolean(int pred) const {
+    DLO_CHECK(prog_->predicate(pred).kind == PredKind::kBoolEdb);
+    return bools_[pred];
+  }
+
+  /// Active domain: all constants in EDB supports plus program constants.
+  std::vector<ConstId> ActiveDomain() const {
+    std::vector<ConstId> out;
+    for (int i = 0; i < prog_->num_predicates(); ++i) {
+      PredKind k = prog_->predicate(i).kind;
+      if (k == PredKind::kEdb) pops_[i].CollectConstants(out);
+      if (k == PredKind::kBoolEdb) bools_[i].CollectConstants(out);
+    }
+    for (const Rule& rule : prog_->rules()) {
+      auto add_atom = [&](const Atom& a) {
+        for (const Term& t : a.args) {
+          if (!t.IsVar()) out.push_back(t.constant);
+        }
+      };
+      add_atom(rule.head);
+      for (const SumProduct& sp : rule.disjuncts) {
+        for (const Atom& a : sp.atoms) add_atom(a);
+        for (const Condition& c : sp.conditions) {
+          if (c.kind == Condition::Kind::kCompare) {
+            if (!c.lhs.IsVar()) out.push_back(c.lhs.constant);
+            if (!c.rhs.IsVar()) out.push_back(c.rhs.constant);
+          } else {
+            add_atom(c.atom);
+          }
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+ private:
+  const Program* prog_;
+  std::vector<Relation<P>> pops_;
+  std::vector<Relation<BoolS>> bools_;
+};
+
+/// Output instance J: one POPS relation per IDB predicate.
+template <Pops P>
+class IdbInstance {
+ public:
+  explicit IdbInstance(const Program& prog) : prog_(&prog) {
+    rels_.reserve(prog.num_predicates());
+    for (int i = 0; i < prog.num_predicates(); ++i) {
+      rels_.emplace_back(prog.predicate(i).arity);
+    }
+  }
+
+  Relation<P>& idb(int pred) {
+    DLO_CHECK(prog_->predicate(pred).kind == PredKind::kIdb);
+    return rels_[pred];
+  }
+  const Relation<P>& idb(int pred) const {
+    DLO_CHECK(prog_->predicate(pred).kind == PredKind::kIdb);
+    return rels_[pred];
+  }
+
+  bool Equals(const IdbInstance& other) const {
+    for (std::size_t i = 0; i < rels_.size(); ++i) {
+      if (prog_->predicate(static_cast<int>(i)).kind != PredKind::kIdb) {
+        continue;
+      }
+      if (!rels_[i].Equals(other.rels_[i])) return false;
+    }
+    return true;
+  }
+
+  /// Total support size across IDB relations.
+  std::size_t TotalSupport() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < rels_.size(); ++i) {
+      if (prog_->predicate(static_cast<int>(i)).kind == PredKind::kIdb) {
+        n += rels_[i].support_size();
+      }
+    }
+    return n;
+  }
+
+ private:
+  const Program* prog_;
+  std::vector<Relation<P>> rels_;
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_DATALOG_INSTANCE_H_

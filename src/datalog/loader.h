@@ -1,0 +1,74 @@
+// Helpers to load graph workloads into EDB instances.
+#ifndef DATALOGO_DATALOG_LOADER_H_
+#define DATALOGO_DATALOG_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/datalog/instance.h"
+#include "src/graph/graph.h"
+#include "src/graph/workloads.h"
+#include "src/relation/domain.h"
+
+namespace datalogo {
+
+/// Interns vertices 0..n-1 as symbols `prefix0`, `prefix1`, …
+inline std::vector<ConstId> InternVertices(int n, Domain* dom,
+                                           const std::string& prefix = "v") {
+  std::vector<ConstId> ids;
+  ids.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(dom->InternSymbol(prefix + std::to_string(i)));
+  }
+  return ids;
+}
+
+/// Loads graph edges into a binary POPS relation; `value_of` maps an Edge
+/// to its P-value (e.g. TropS: the weight; BoolS: true).
+template <Pops P, typename F>
+void LoadEdges(const Graph& g, const std::vector<ConstId>& ids, F&& value_of,
+               Relation<P>* rel) {
+  for (const Edge& e : g.edges()) {
+    rel->Merge({ids[e.src], ids[e.dst]}, value_of(e));
+  }
+}
+
+/// Loads graph edges into a Boolean EDB relation.
+inline void LoadEdgesBool(const Graph& g, const std::vector<ConstId>& ids,
+                          Relation<BoolS>* rel) {
+  for (const Edge& e : g.edges()) {
+    rel->Set({ids[e.src], ids[e.dst]}, true);
+  }
+}
+
+/// Interns the vertex names of a paper figure.
+inline std::vector<ConstId> InternNamed(const NamedGraph& g, Domain* dom) {
+  std::vector<ConstId> ids;
+  ids.reserve(g.names.size());
+  for (const std::string& n : g.names) ids.push_back(dom->InternSymbol(n));
+  return ids;
+}
+
+/// Loads a paper figure's edges into a Boolean EDB relation.
+inline void LoadNamedEdgesBool(const NamedGraph& g, Domain* dom,
+                               Relation<BoolS>* rel) {
+  for (const auto& [s, t] : g.edges) {
+    rel->Set({dom->InternSymbol(s), dom->InternSymbol(t)}, true);
+  }
+}
+
+/// Loads a paper figure's weighted edges into a POPS relation.
+template <Pops P, typename F>
+void LoadNamedEdges(const NamedGraph& g, Domain* dom, F&& value_of_weight,
+                    Relation<P>* rel) {
+  for (const auto& [s, t] : g.edges) {
+    auto it = g.edge_weights.find({s, t});
+    double w = it == g.edge_weights.end() ? 1.0 : it->second;
+    rel->Merge({dom->InternSymbol(s), dom->InternSymbol(t)},
+               value_of_weight(w));
+  }
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_DATALOG_LOADER_H_

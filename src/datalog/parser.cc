@@ -1,0 +1,558 @@
+#include "src/datalog/parser.h"
+
+#include <cctype>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace datalogo {
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,
+  kSemi,
+  kStar,
+  kPipe,
+  kBang,
+  kSlash,
+  kColon,
+  kTurnstile,  // :-
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int64_t value = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = text_.size();
+    while (i < n) {
+      char c = text_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '%' || (c == '/' && i + 1 < n && text_[i + 1] == '/')) {
+        while (i < n && text_[i] != '\n') ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                         text_[i] == '_')) {
+          ++i;
+        }
+        out->push_back({TokKind::kIdent, text_.substr(start, i - start), 0,
+                        line});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        std::size_t start = i;
+        if (c == '-') ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        std::string digits = text_.substr(start, i - start);
+        out->push_back(
+            {TokKind::kInt, digits, std::stoll(digits), line});
+        continue;
+      }
+      auto push1 = [&](TokKind k) {
+        out->push_back({k, std::string(1, c), 0, line});
+        ++i;
+      };
+      switch (c) {
+        case '(':
+          push1(TokKind::kLParen);
+          break;
+        case ')':
+          push1(TokKind::kRParen);
+          break;
+        case '[':
+          push1(TokKind::kLBracket);
+          break;
+        case ']':
+          push1(TokKind::kRBracket);
+          break;
+        case '{':
+          push1(TokKind::kLBrace);
+          break;
+        case '}':
+          push1(TokKind::kRBrace);
+          break;
+        case ',':
+          push1(TokKind::kComma);
+          break;
+        case '.':
+          push1(TokKind::kDot);
+          break;
+        case ';':
+          push1(TokKind::kSemi);
+          break;
+        case '*':
+          push1(TokKind::kStar);
+          break;
+        case '|':
+          push1(TokKind::kPipe);
+          break;
+        case '/':
+          push1(TokKind::kSlash);
+          break;
+        case ':':
+          if (i + 1 < n && text_[i + 1] == '-') {
+            out->push_back({TokKind::kTurnstile, ":-", 0, line});
+            i += 2;
+          } else {
+            push1(TokKind::kColon);
+          }
+          break;
+        case '=':
+          push1(TokKind::kEq);
+          break;
+        case '!':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kNe, "!=", 0, line});
+            i += 2;
+          } else {
+            push1(TokKind::kBang);
+          }
+          break;
+        case '<':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kLe, "<=", 0, line});
+            i += 2;
+          } else {
+            push1(TokKind::kLt);
+          }
+          break;
+        case '>':
+          if (i + 1 < n && text_[i + 1] == '=') {
+            out->push_back({TokKind::kGe, ">=", 0, line});
+            i += 2;
+          } else {
+            push1(TokKind::kGt);
+          }
+          break;
+        default:
+          return ParseError("line " + std::to_string(line) +
+                            ": unexpected character '" + std::string(1, c) +
+                            "'");
+      }
+    }
+    out->push_back({TokKind::kEof, "", 0, line});
+    return Status::Ok();
+  }
+
+ private:
+  const std::string& text_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Domain* domain)
+      : tokens_(std::move(tokens)), domain_(domain), program_(domain) {}
+
+  Result<Program> Run() {
+    while (!At(TokKind::kEof)) {
+      Status s = ParseStatement();
+      if (!s.ok()) return s;
+    }
+    return std::move(program_);
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  bool At(TokKind k) const { return Peek().kind == k; }
+  Token Next() { return tokens_[pos_++]; }
+  bool Accept(TokKind k) {
+    if (At(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokKind k, const char* what) {
+    if (Accept(k)) return Status::Ok();
+    return ParseError("line " + std::to_string(Peek().line) + ": expected " +
+                      what + ", got '" + Peek().text + "'");
+  }
+
+  static bool IsVariableName(const std::string& s) {
+    return !s.empty() && (std::isupper(static_cast<unsigned char>(s[0])) ||
+                          s[0] == '_');
+  }
+
+  Status ParseStatement() {
+    // Declaration: (edb|bedb|idb) Name/arity.
+    if (At(TokKind::kIdent) &&
+        (Peek().text == "edb" || Peek().text == "bedb" ||
+         Peek().text == "idb") &&
+        Peek(1).kind == TokKind::kIdent) {
+      std::string kw = Next().text;
+      std::string name = Next().text;
+      Status s = Expect(TokKind::kSlash, "'/'");
+      if (!s.ok()) return s;
+      if (!At(TokKind::kInt)) {
+        return ParseError("line " + std::to_string(Peek().line) +
+                          ": expected arity");
+      }
+      int arity = static_cast<int>(Next().value);
+      s = Expect(TokKind::kDot, "'.'");
+      if (!s.ok()) return s;
+      PredKind kind = kw == "edb" ? PredKind::kEdb
+                      : kw == "bedb" ? PredKind::kBoolEdb
+                                     : PredKind::kIdb;
+      program_.AddPredicate(name, arity, kind, /*auto_declared=*/false);
+      return Status::Ok();
+    }
+    return ParseRule();
+  }
+
+  /// Resolves a term token into the current rule's term.
+  Status ParseTerm(Term* out) {
+    if (At(TokKind::kInt)) {
+      Token t = Next();
+      *out = Term::Const(domain_->InternInt(t.value));
+      return Status::Ok();
+    }
+    if (!At(TokKind::kIdent)) {
+      return ParseError("line " + std::to_string(Peek().line) +
+                        ": expected term, got '" + Peek().text + "'");
+    }
+    Token t = Next();
+    if (IsVariableName(t.text)) {
+      auto it = var_ids_.find(t.text);
+      int id;
+      if (it == var_ids_.end()) {
+        id = static_cast<int>(var_names_.size());
+        var_ids_.emplace(t.text, id);
+        var_names_.push_back(t.text);
+      } else {
+        id = it->second;
+      }
+      *out = Term::Var(id);
+    } else {
+      *out = Term::Const(domain_->InternSymbol(t.text));
+    }
+    return Status::Ok();
+  }
+
+  /// Parses `Name(t, …)`; declares unknown predicates with `default_kind`.
+  Status ParseAtom(Atom* out, PredKind default_kind) {
+    if (!At(TokKind::kIdent)) {
+      return ParseError("line " + std::to_string(Peek().line) +
+                        ": expected predicate name");
+    }
+    std::string name = Next().text;
+    Status s = Expect(TokKind::kLParen, "'('");
+    if (!s.ok()) return s;
+    std::vector<Term> args;
+    if (!At(TokKind::kRParen)) {
+      while (true) {
+        Term t;
+        s = ParseTerm(&t);
+        if (!s.ok()) return s;
+        args.push_back(t);
+        if (!Accept(TokKind::kComma)) break;
+      }
+    }
+    s = Expect(TokKind::kRParen, "')'");
+    if (!s.ok()) return s;
+    int pred = program_.FindPredicate(name);
+    if (pred < 0) {
+      pred = program_.AddPredicate(name, static_cast<int>(args.size()),
+                                   default_kind, /*auto_declared=*/true);
+    } else if (program_.predicate(pred).arity !=
+               static_cast<int>(args.size())) {
+      return ParseError("predicate '" + name + "' used with arity " +
+                        std::to_string(args.size()) + " but declared with " +
+                        std::to_string(program_.predicate(pred).arity));
+    }
+    out->pred = pred;
+    out->args = std::move(args);
+    out->negated = false;
+    return Status::Ok();
+  }
+
+  static TokKind CmpTok(CmpOp op) {
+    switch (op) {
+      case CmpOp::kEq:
+        return TokKind::kEq;
+      case CmpOp::kNe:
+        return TokKind::kNe;
+      case CmpOp::kLt:
+        return TokKind::kLt;
+      case CmpOp::kLe:
+        return TokKind::kLe;
+      case CmpOp::kGt:
+        return TokKind::kGt;
+      case CmpOp::kGe:
+        return TokKind::kGe;
+    }
+    return TokKind::kEq;
+  }
+
+  bool AtCmp() const {
+    TokKind k = Peek().kind;
+    return k == TokKind::kEq || k == TokKind::kNe || k == TokKind::kLt ||
+           k == TokKind::kLe || k == TokKind::kGt || k == TokKind::kGe;
+  }
+
+  CmpOp NextCmp() {
+    TokKind k = Next().kind;
+    switch (k) {
+      case TokKind::kEq:
+        return CmpOp::kEq;
+      case TokKind::kNe:
+        return CmpOp::kNe;
+      case TokKind::kLt:
+        return CmpOp::kLt;
+      case TokKind::kLe:
+        return CmpOp::kLe;
+      case TokKind::kGt:
+        return CmpOp::kGt;
+      default:
+        return CmpOp::kGe;
+    }
+  }
+
+  /// cond := '!' atom | atom | term cmp term
+  Status ParseCondition(Condition* out) {
+    if (Accept(TokKind::kBang)) {
+      out->kind = Condition::Kind::kNegBoolAtom;
+      return ParseAtom(&out->atom, PredKind::kBoolEdb);
+    }
+    // Lookahead: IDENT '(' is an atom, otherwise a comparison.
+    if (At(TokKind::kIdent) && Peek(1).kind == TokKind::kLParen) {
+      out->kind = Condition::Kind::kBoolAtom;
+      return ParseAtom(&out->atom, PredKind::kBoolEdb);
+    }
+    out->kind = Condition::Kind::kCompare;
+    Status s = ParseTerm(&out->lhs);
+    if (!s.ok()) return s;
+    if (!AtCmp()) {
+      return ParseError("line " + std::to_string(Peek().line) +
+                        ": expected comparison operator");
+    }
+    out->op = NextCmp();
+    return ParseTerm(&out->rhs);
+  }
+
+  /// factor := atom | '!' atom | '[' cond (',' cond)* ']' | '1'
+  Status ParseFactor(SumProduct* sp) {
+    if (Accept(TokKind::kLBracket)) {
+      // Indicator function: desugar to conditions (Sec. 4.4).
+      while (true) {
+        Condition c;
+        Status s = ParseCondition(&c);
+        if (!s.ok()) return s;
+        sp->conditions.push_back(std::move(c));
+        if (!Accept(TokKind::kComma)) break;
+      }
+      return Expect(TokKind::kRBracket, "']'");
+    }
+    if (At(TokKind::kInt) && Peek().value == 1) {
+      Next();  // the unit factor "1" contributes nothing to the product
+      return Status::Ok();
+    }
+    bool negated = Accept(TokKind::kBang);
+    Atom a;
+    Status s = ParseAtom(&a, PredKind::kEdb);
+    if (!s.ok()) return s;
+    a.negated = negated;
+    sp->atoms.push_back(std::move(a));
+    return Status::Ok();
+  }
+
+  /// product := factor ('*' factor)*
+  Status ParseProduct(SumProduct* sp) {
+    Status s = ParseFactor(sp);
+    if (!s.ok()) return s;
+    while (Accept(TokKind::kStar)) {
+      s = ParseFactor(sp);
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  /// sumprod := '{' product '|' cond (',' cond)* '}' | product
+  Status ParseSumProduct(SumProduct* sp) {
+    if (Accept(TokKind::kLBrace)) {
+      Status s = ParseProduct(sp);
+      if (!s.ok()) return s;
+      s = Expect(TokKind::kPipe, "'|'");
+      if (!s.ok()) return s;
+      while (true) {
+        Condition c;
+        s = ParseCondition(&c);
+        if (!s.ok()) return s;
+        sp->conditions.push_back(std::move(c));
+        if (!Accept(TokKind::kComma)) break;
+      }
+      return Expect(TokKind::kRBrace, "'}'");
+    }
+    return ParseProduct(sp);
+  }
+
+  /// Logical negation of a condition — used by case-statement
+  /// desugaring (Sec. 4.5). Every condition in our fragment is negatable.
+  static Condition Negate(const Condition& c) {
+    Condition out = c;
+    switch (c.kind) {
+      case Condition::Kind::kBoolAtom:
+        out.kind = Condition::Kind::kNegBoolAtom;
+        break;
+      case Condition::Kind::kNegBoolAtom:
+        out.kind = Condition::Kind::kBoolAtom;
+        break;
+      case Condition::Kind::kCompare:
+        switch (c.op) {
+          case CmpOp::kEq:
+            out.op = CmpOp::kNe;
+            break;
+          case CmpOp::kNe:
+            out.op = CmpOp::kEq;
+            break;
+          case CmpOp::kLt:
+            out.op = CmpOp::kGe;
+            break;
+          case CmpOp::kGe:
+            out.op = CmpOp::kLt;
+            break;
+          case CmpOp::kLe:
+            out.op = CmpOp::kGt;
+            break;
+          case CmpOp::kGt:
+            out.op = CmpOp::kLe;
+            break;
+        }
+        break;
+    }
+    return out;
+  }
+
+  /// Keyword check that never shadows a predicate (keywords followed by
+  /// '(' are atoms).
+  bool AtKeyword(const char* kw) const {
+    return At(TokKind::kIdent) && Peek().text == kw &&
+           Peek(1).kind != TokKind::kLParen;
+  }
+
+  /// case C1 : E1 ; C2 : E2 ; … ; [else En] — desugared per Sec. 4.5:
+  /// branch k carries ¬C1 ∧ … ∧ ¬C_{k-1} ∧ C_k.
+  Status ParseCaseBody(Rule* rule) {
+    std::vector<Condition> prior;
+    while (true) {
+      SumProduct sp;
+      if (AtKeyword("else")) {
+        Next();
+        Status s = ParseSumProduct(&sp);
+        if (!s.ok()) return s;
+        for (const Condition& g : prior) sp.conditions.push_back(Negate(g));
+        rule->disjuncts.push_back(std::move(sp));
+        break;
+      }
+      Condition guard;
+      Status s = ParseCondition(&guard);
+      if (!s.ok()) return s;
+      s = Expect(TokKind::kColon, "':'");
+      if (!s.ok()) return s;
+      s = ParseSumProduct(&sp);
+      if (!s.ok()) return s;
+      sp.conditions.push_back(guard);
+      for (const Condition& g : prior) sp.conditions.push_back(Negate(g));
+      rule->disjuncts.push_back(std::move(sp));
+      prior.push_back(guard);
+      if (!Accept(TokKind::kSemi)) break;
+    }
+    return Status::Ok();
+  }
+
+  Status ParseRule() {
+    var_ids_.clear();
+    var_names_.clear();
+    Rule rule;
+    Status s = ParseAtom(&rule.head, PredKind::kIdb);
+    if (!s.ok()) return s;
+    // A predicate first seen in an earlier rule body was auto-declared as
+    // a POPS EDB; appearing in head position upgrades it to an IDB.
+    program_.UpgradeToIdb(rule.head.pred);
+    s = Expect(TokKind::kTurnstile, "':-'");
+    if (!s.ok()) return s;
+    if (AtKeyword("case")) {
+      Next();
+      s = ParseCaseBody(&rule);
+      if (!s.ok()) return s;
+    } else {
+      while (true) {
+        SumProduct sp;
+        s = ParseSumProduct(&sp);
+        if (!s.ok()) return s;
+        rule.disjuncts.push_back(std::move(sp));
+        if (!Accept(TokKind::kSemi)) break;
+      }
+    }
+    s = Expect(TokKind::kDot, "'.'");
+    if (!s.ok()) return s;
+    rule.num_vars = static_cast<int>(var_names_.size());
+    rule.var_names = var_names_;
+    program_.AddRule(std::move(rule));
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Domain* domain_;
+  Program program_;
+  std::map<std::string, int> var_ids_;
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text, Domain* domain) {
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  Status s = lexer.Tokenize(&tokens);
+  if (!s.ok()) return s;
+  Parser parser(std::move(tokens), domain);
+  return parser.Run();
+}
+
+}  // namespace datalogo

@@ -1,0 +1,36 @@
+// Text syntax for datalog° programs. Example (APSP, Example 1.1):
+//
+//   edb E/2.
+//   idb T/2.
+//   T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).
+//
+// Conventions:
+//   * identifiers starting with an uppercase letter are variables; those
+//     starting lowercase (and integer literals) are constants;
+//   * `;` separates the ⊕-disjuncts of a sum-sum-product body, `*` is ⊗;
+//   * bound variables (not in the head) are implicitly ⊕-aggregated;
+//   * `{ product | cond, cond }` attaches a conditional Φ (Def. 2.5);
+//   * `[X = a]` is an indicator function (Sec. 4.4), desugared into a
+//     condition on its sum-product; `[X = a]` alone is the pure indicator;
+//   * `!R(..)` in a product applies the POPS `Not` (Sec. 7);
+//     `!B(..)` in a condition is Boolean negation of a Boolean EDB atom;
+//   * declarations: `edb E/2.`, `bedb G/1.`, `idb T/2.` — heads are
+//     auto-declared as IDBs, unknown body predicates as POPS EDBs, and
+//     unknown condition predicates as Boolean EDBs;
+//   * comments run from `//` or `%` to end of line.
+#ifndef DATALOGO_DATALOG_PARSER_H_
+#define DATALOGO_DATALOG_PARSER_H_
+
+#include <string>
+
+#include "src/core/status.h"
+#include "src/datalog/ast.h"
+
+namespace datalogo {
+
+/// Parses a datalog° program; constants are interned into `domain`.
+Result<Program> ParseProgram(const std::string& text, Domain* domain);
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_DATALOG_PARSER_H_

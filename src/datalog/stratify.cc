@@ -1,0 +1,121 @@
+#include "src/datalog/stratify.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/core/check.h"
+
+namespace datalogo {
+namespace {
+
+/// Iterative-friendly Tarjan SCC over a small adjacency list (the number
+/// of predicates is tiny relative to data, recursion depth is fine).
+class Tarjan {
+ public:
+  explicit Tarjan(const std::vector<std::vector<int>>& adj)
+      : adj_(adj),
+        index_(adj.size(), -1),
+        low_(adj.size(), 0),
+        on_stack_(adj.size(), false),
+        comp_(adj.size(), -1) {}
+
+  void Run() {
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+      if (index_[v] < 0) Visit(static_cast<int>(v));
+    }
+  }
+
+  const std::vector<int>& components() const { return comp_; }
+  int num_components() const { return num_comps_; }
+
+ private:
+  void Visit(int v) {
+    index_[v] = low_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+    for (int w : adj_[v]) {
+      if (index_[w] < 0) {
+        Visit(w);
+        low_[v] = std::min(low_[v], low_[w]);
+      } else if (on_stack_[w]) {
+        low_[v] = std::min(low_[v], index_[w]);
+      }
+    }
+    if (low_[v] == index_[v]) {
+      int c = num_comps_++;
+      while (true) {
+        int w = stack_.back();
+        stack_.pop_back();
+        on_stack_[w] = false;
+        comp_[w] = c;
+        if (w == v) break;
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>>& adj_;
+  std::vector<int> index_, low_;
+  std::vector<bool> on_stack_;
+  std::vector<int> comp_;
+  std::vector<int> stack_;
+  int next_index_ = 0;
+  int num_comps_ = 0;
+};
+
+}  // namespace
+
+Stratification StratifyProgram(const Program& prog) {
+  const int np = prog.num_predicates();
+  std::vector<std::vector<int>> adj(np);  // body pred → head pred
+  for (const Rule& rule : prog.rules()) {
+    for (const SumProduct& sp : rule.disjuncts) {
+      for (const Atom& a : sp.atoms) {
+        if (prog.predicate(a.pred).kind == PredKind::kIdb) {
+          adj[a.pred].push_back(rule.head.pred);
+        }
+      }
+    }
+  }
+
+  Tarjan tarjan(adj);
+  tarjan.Run();
+  const std::vector<int>& comp = tarjan.components();
+  const int nc = tarjan.num_components();
+
+  // Longest-path layering of the condensation: stratum(c) = 1 + max over
+  // predecessors in a different component. Tarjan numbers components in
+  // reverse topological order, so processing components in DECREASING
+  // order visits sources first.
+  std::vector<int> comp_level(nc, 0);
+  std::vector<int> order(np);
+  for (int i = 0; i < np; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return comp[a] > comp[b]; });
+  for (int v : order) {
+    for (int w : adj[v]) {
+      if (comp[w] != comp[v]) {
+        comp_level[comp[w]] =
+            std::max(comp_level[comp[w]], comp_level[comp[v]] + 1);
+      }
+    }
+  }
+
+  Stratification out;
+  out.pred_stratum.assign(np, -1);
+  int max_level = 0;
+  for (int p = 0; p < np; ++p) {
+    if (prog.predicate(p).kind != PredKind::kIdb) continue;
+    out.pred_stratum[p] = comp_level[comp[p]];
+    max_level = std::max(max_level, out.pred_stratum[p]);
+  }
+  out.num_strata = max_level + 1;
+  out.strata_rules.assign(out.num_strata, {});
+  for (std::size_t r = 0; r < prog.rules().size(); ++r) {
+    int head = prog.rules()[r].head.pred;
+    DLO_CHECK(out.pred_stratum[head] >= 0);
+    out.strata_rules[out.pred_stratum[head]].push_back(static_cast<int>(r));
+  }
+  return out;
+}
+
+}  // namespace datalogo

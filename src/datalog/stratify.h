@@ -1,0 +1,31 @@
+// Predicate dependency analysis and stratification (Sec. 4.5 "Multiple
+// Value Spaces" and Sec. 6.4): Tarjan SCC condensation of the IDB
+// dependency graph, yielding strata that can be evaluated bottom-up with
+// lower strata frozen as extra EDBs.
+#ifndef DATALOGO_DATALOG_STRATIFY_H_
+#define DATALOGO_DATALOG_STRATIFY_H_
+
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/datalog/ast.h"
+
+namespace datalogo {
+
+/// Result of stratifying a program.
+struct Stratification {
+  /// stratum index per predicate (-1 for EDBs).
+  std::vector<int> pred_stratum;
+  /// rule indexes per stratum, bottom-up.
+  std::vector<std::vector<int>> strata_rules;
+  int num_strata = 0;
+};
+
+/// Computes strata from the IDB dependency graph (edge: body IDB → head).
+/// Mutually recursive predicates share a stratum; a rule lives in the
+/// stratum of its head.
+Stratification StratifyProgram(const Program& prog);
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_DATALOG_STRATIFY_H_

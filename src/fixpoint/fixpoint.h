@@ -1,0 +1,81 @@
+// Least fixpoints of monotone functions on posets (Section 3). The naive
+// algorithm computes the ω-sequence ⊥, f(⊥), f²(⊥), … and stops at the
+// first repeat; its stopping step is exactly the stability index of f
+// (Definition 3.1).
+#ifndef DATALOGO_FIXPOINT_FIXPOINT_H_
+#define DATALOGO_FIXPOINT_FIXPOINT_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace datalogo {
+
+/// Outcome of a Kleene iteration.
+struct FixpointStats {
+  /// Stability index: the first q with f^(q)(⊥) = f^(q+1)(⊥); equals the
+  /// iteration budget if the sequence did not converge.
+  int steps = 0;
+  bool converged = false;
+};
+
+/// Iterates x ← f(x) from the given initial state until a fixpoint or the
+/// budget runs out. On return `x` holds f^(steps)(initial). `eq` must be
+/// the poset's equality.
+template <typename State, typename StepFn, typename EqFn>
+FixpointStats IterateToFixpoint(State& x, StepFn&& step, EqFn&& eq,
+                                int max_steps) {
+  for (int t = 0; t < max_steps; ++t) {
+    State next = step(x);
+    if (eq(next, x)) {
+      return {t, true};
+    }
+    x = std::move(next);
+  }
+  return {max_steps, false};
+}
+
+/// Σ_{i=1..n} (p+2)^i — the Theorem 5.12(1) convergence bound for general
+/// polynomial systems over a p-stable semiring; saturates at kBoundInf.
+inline constexpr uint64_t kBoundInf = UINT64_MAX;
+inline uint64_t GeneralConvergenceBound(int p, int n) {
+  uint64_t base = static_cast<uint64_t>(p) + 2;
+  uint64_t sum = 0, pow = 1;
+  for (int i = 1; i <= n; ++i) {
+    if (pow > kBoundInf / base) return kBoundInf;
+    pow *= base;
+    if (sum > kBoundInf - pow) return kBoundInf;
+    sum += pow;
+  }
+  return sum;
+}
+
+/// Σ_{i=1..n} (p+1)^i — the Theorem 5.12(1) bound for *linear* systems.
+inline uint64_t LinearConvergenceBound(int p, int n) {
+  uint64_t base = static_cast<uint64_t>(p) + 1;
+  uint64_t sum = 0, pow = 1;
+  for (int i = 1; i <= n; ++i) {
+    if (pow > kBoundInf / base) return kBoundInf;
+    pow *= base;
+    if (sum > kBoundInf - pow) return kBoundInf;
+    sum += pow;
+  }
+  return sum;
+}
+
+/// E_m(a_1..a_m) = a1 + a1·a2 + … + a1···am — the Theorem 3.4 c-clone
+/// composition bound (maximized by a decreasing sequence).
+inline uint64_t CloneCompositionBound(const int* stability, int n) {
+  uint64_t sum = 0, prod = 1;
+  for (int i = 0; i < n; ++i) {
+    uint64_t a = static_cast<uint64_t>(stability[i]);
+    if (a != 0 && prod > kBoundInf / a) return kBoundInf;
+    prod *= a;
+    if (sum > kBoundInf - prod) return kBoundInf;
+    sum += prod;
+  }
+  return sum;
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_FIXPOINT_FIXPOINT_H_

@@ -1,0 +1,75 @@
+#include "src/graph/generators.h"
+
+#include <random>
+
+#include "src/core/check.h"
+
+namespace datalogo {
+
+Graph RandomGraph(int n, int m, uint64_t seed, double max_weight) {
+  DLO_CHECK(n > 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> vertex(0, n - 1);
+  std::uniform_real_distribution<double> weight(1.0, max_weight);
+  Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    g.AddEdge(vertex(rng), vertex(rng), weight(rng));
+  }
+  return g;
+}
+
+Graph CycleGraph(int n) {
+  DLO_CHECK(n > 0);
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n, 1.0);
+  return g;
+}
+
+Graph GridGraph(int rows, int cols) {
+  DLO_CHECK(rows > 0 && cols > 0);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  return g;
+}
+
+Graph LayeredDag(int layers, int width, double density, uint64_t seed) {
+  DLO_CHECK(layers > 0 && width > 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_real_distribution<double> weight(1.0, 10.0);
+  Graph g(layers * width);
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int a = 0; a < width; ++a) {
+      for (int b = 0; b < width; ++b) {
+        if (coin(rng) < density) {
+          g.AddEdge(l * width + a, (l + 1) * width + b, weight(rng));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph TreeWithCrossEdges(int n, int extra_edges, uint64_t seed) {
+  DLO_CHECK(n > 0);
+  std::mt19937_64 rng(seed);
+  Graph g(n);
+  for (int v = 1; v < n; ++v) {
+    std::uniform_int_distribution<int> parent(0, v - 1);
+    g.AddEdge(parent(rng), v, 1.0);
+  }
+  std::uniform_int_distribution<int> vertex(0, n - 1);
+  for (int i = 0; i < extra_edges; ++i) {
+    int a = vertex(rng), b = vertex(rng);
+    if (a < b) g.AddEdge(a, b, 1.0);  // keep it acyclic: edges go forward
+  }
+  return g;
+}
+
+}  // namespace datalogo

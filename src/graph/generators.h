@@ -1,0 +1,32 @@
+// Synthetic workload generators (see DESIGN.md substitution notes): the
+// paper has no external datasets, so benches sweep these graph families.
+#ifndef DATALOGO_GRAPH_GENERATORS_H_
+#define DATALOGO_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace datalogo {
+
+/// G(n, m): m uniformly random directed edges, weights in [1, max_weight].
+Graph RandomGraph(int n, int m, uint64_t seed, double max_weight = 10.0);
+
+/// The directed n-cycle 0 → 1 → … → n-1 → 0 with unit weights — the
+/// Lemma 5.20 lower-bound instance.
+Graph CycleGraph(int n);
+
+/// Directed 2D grid (edges right and down), rows × cols vertices.
+Graph GridGraph(int rows, int cols);
+
+/// A layered DAG: `layers` layers of `width` vertices, random edges
+/// between consecutive layers with probability `density`.
+Graph LayeredDag(int layers, int width, double density, uint64_t seed);
+
+/// A random tree oriented away from the root plus `extra_edges` random
+/// cross edges — the bill-of-material shape (part/subpart with sharing).
+Graph TreeWithCrossEdges(int n, int extra_edges, uint64_t seed);
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_GRAPH_GENERATORS_H_

@@ -1,0 +1,64 @@
+#include "src/graph/graph.h"
+
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "src/core/check.h"
+
+namespace datalogo {
+
+void Graph::AddEdge(int src, int dst, double weight) {
+  DLO_CHECK(src >= 0 && src < num_vertices_);
+  DLO_CHECK(dst >= 0 && dst < num_vertices_);
+  edges_.push_back(Edge{src, dst, weight});
+}
+
+std::vector<std::vector<Edge>> Graph::OutAdjacency() const {
+  std::vector<std::vector<Edge>> adj(num_vertices_);
+  for (const Edge& e : edges_) adj[e.src].push_back(e);
+  return adj;
+}
+
+std::vector<double> Graph::ShortestPathsFrom(int source) const {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(num_vertices_, inf);
+  dist[source] = 0.0;
+  for (int round = 0; round < num_vertices_; ++round) {
+    bool changed = false;
+    for (const Edge& e : edges_) {
+      if (dist[e.src] + e.weight < dist[e.dst]) {
+        dist[e.dst] = dist[e.src] + e.weight;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+std::vector<bool> Graph::ReachableFrom(int source) const {
+  std::vector<bool> seen(num_vertices_, false);
+  std::vector<std::vector<Edge>> adj = OutAdjacency();
+  std::deque<int> queue{source};
+  seen[source] = true;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adj[v]) {
+      if (!seen[e.dst]) {
+        seen[e.dst] = true;
+        queue.push_back(e.dst);
+      }
+    }
+  }
+  return seen;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_vertices_ << ", m=" << edges_.size() << ")";
+  return os.str();
+}
+
+}  // namespace datalogo

@@ -1,0 +1,48 @@
+// Weighted directed graphs: the workload substrate for the paper's
+// programs (transitive closure, SSSP/APSP, bill-of-material, win-move).
+#ifndef DATALOGO_GRAPH_GRAPH_H_
+#define DATALOGO_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+namespace datalogo {
+
+/// A directed edge with a non-negative weight.
+struct Edge {
+  int src = 0;
+  int dst = 0;
+  double weight = 1.0;
+};
+
+/// A simple directed multigraph on vertices 0..n-1.
+class Graph {
+ public:
+  explicit Graph(int num_vertices) : num_vertices_(num_vertices) {}
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  void AddEdge(int src, int dst, double weight = 1.0);
+
+  /// Out-adjacency lists (built on demand).
+  std::vector<std::vector<Edge>> OutAdjacency() const;
+
+  /// Reference single-source shortest paths (Bellman–Ford), used as the
+  /// oracle for SSSP/APSP tests; +inf for unreachable.
+  std::vector<double> ShortestPathsFrom(int source) const;
+
+  /// Reference reachability from `source` (BFS oracle).
+  std::vector<bool> ReachableFrom(int source) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_GRAPH_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "src/graph/workloads.h"
+
+namespace datalogo {
+
+NamedGraph PaperFig2a() {
+  NamedGraph g;
+  g.names = {"a", "b", "c", "d"};
+  auto edge = [&](const std::string& s, const std::string& t, double w) {
+    g.edges.emplace_back(s, t);
+    g.edge_weights[{s, t}] = w;
+  };
+  // Fig. 2(a): a -1-> b, b -2-> a, b -3-> c, c -4-> d, a -5-> c.
+  // Produces the Example 4.1 table (L converges to (0,1,4,8) in 5 steps)
+  // and the Trop+_1 results L(a)={{0,3}}, L(b)={{1,4}}, L(c)={{4,5}},
+  // L(d)={{8,9}}.
+  edge("a", "b", 1);
+  edge("b", "a", 2);
+  edge("b", "c", 3);
+  edge("c", "d", 4);
+  edge("a", "c", 5);
+  return g;
+}
+
+NamedGraph PaperFig2b() {
+  NamedGraph g;
+  g.names = {"a", "b", "c", "d"};
+  g.edges = {{"a", "b"}, {"a", "c"}, {"b", "a"}, {"c", "d"}};
+  g.vertex_costs = {{"a", 1}, {"b", 1}, {"c", 1}, {"d", 10}};
+  return g;
+}
+
+NamedGraph PaperFig4() {
+  NamedGraph g;
+  g.names = {"a", "b", "c", "d", "e", "f"};
+  g.edges = {{"a", "b"}, {"a", "c"}, {"b", "a"}, {"c", "d"},
+             {"c", "e"}, {"d", "e"}, {"e", "f"}};
+  return g;
+}
+
+}  // namespace datalogo

@@ -1,0 +1,40 @@
+// The paper's concrete instances: the weighted graph of Fig. 2(a)
+// (Example 4.1, SSSP), the part/subpart graph of Fig. 2(b) (Example 4.2,
+// bill-of-material), and the win-move game graph of Fig. 4 (Section 7).
+#ifndef DATALOGO_GRAPH_WORKLOADS_H_
+#define DATALOGO_GRAPH_WORKLOADS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace datalogo {
+
+/// A graph with named vertices, as drawn in the paper's figures.
+struct NamedGraph {
+  std::vector<std::string> names;                       ///< vertex → name
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::map<std::string, double> vertex_costs;           ///< for Fig. 2(b)
+  std::map<std::pair<std::string, std::string>, double> edge_weights;
+};
+
+/// Fig. 2(a): a,b,c,d with E = {(a,b,1),(b,c,3),(a,c,5),(c,d,4),(d,c,2)}.
+/// Naive SSSP from `a` over Trop+ converges in 5 steps (Example 4.1).
+NamedGraph PaperFig2a();
+
+/// Fig. 2(b): a,b,c,d with E = {(a,b),(a,c),(b,a),(c,d)} and costs
+/// C(a)=C(b)=C(c)=1, C(d)=10. Bill-of-material over R⊥ converges in
+/// 3 steps with T(c)=11, T(d)=10, T(a)=T(b)=⊥ (Example 4.2).
+NamedGraph PaperFig2b();
+
+/// Fig. 4: a..f with E = {(a,b),(a,c),(b,a),(c,d),(c,e),(d,e),(e,f)};
+/// the win-move game's well-founded model is W(c)=W(e)=1, W(d)=W(f)=0,
+/// W(a)=W(b)=⊥ (Section 7).
+NamedGraph PaperFig4();
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_GRAPH_WORKLOADS_H_

@@ -1,0 +1,54 @@
+// Floyd–Warshall–Kleene / Gauss–Jordan closure (Sec. 5.5, [52, 72]):
+// computes A* = I + A + A² + … in O(N³) semiring operations given an
+// element-level star. Over a p-stable semiring, star(a) = a^(p) (Eq. 30).
+#ifndef DATALOGO_POLY_KLEENE_H_
+#define DATALOGO_POLY_KLEENE_H_
+
+#include <functional>
+
+#include "src/poly/matrix.h"
+#include "src/semiring/stability.h"
+
+namespace datalogo {
+
+/// Lehmann's algorithm: in-place elimination
+///   C ← A;  for k: C_ij ← C_ij ⊕ C_ik ⊗ (C_kk)* ⊗ C_kj;  A* = I ⊕ C.
+/// `star` must satisfy star(a) = 1 ⊕ a⊗star(a) (e.g. a^(p) when every
+/// element is p-stable).
+template <PreSemiring S>
+Matrix<S> KleeneClosure(
+    const Matrix<S>& a,
+    const std::function<typename S::Value(const typename S::Value&)>& star) {
+  DLO_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  Matrix<S> c = a;
+  for (int k = 0; k < n; ++k) {
+    typename S::Value skk = star(c.at(k, k));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        c.at(i, j) = S::Plus(
+            c.at(i, j), S::Times(c.at(i, k), S::Times(skk, c.at(k, j))));
+      }
+    }
+  }
+  return Matrix<S>::Identity(n).Plus(c);
+}
+
+/// Closure over a uniformly p-stable semiring: star(a) = a^(p).
+template <PreSemiring S>
+Matrix<S> KleeneClosurePStable(const Matrix<S>& a, int p) {
+  return KleeneClosure<S>(a, [p](const typename S::Value& v) {
+    return StarTruncated<S>(v, p);
+  });
+}
+
+/// Solves the linear fixpoint x = A·x ⊕ b as x = A*·b.
+template <PreSemiring S>
+std::vector<typename S::Value> SolveLinearFixpoint(
+    const Matrix<S>& a, const std::vector<typename S::Value>& b, int p) {
+  return KleeneClosurePStable<S>(a, p).Apply(b);
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_POLY_KLEENE_H_

@@ -1,0 +1,145 @@
+// LinearLFP (Algorithm 2, Theorem 5.22): computes the least fixpoint of N
+// linear functions over a p-stable POPS with strict multiplication in
+// O(pN + N³) time, by variable elimination à la Gaussian /
+// Floyd–Warshall–Kleene.
+//
+// A linear function over a POPS is represented by an EXPLICIT list of
+// terms Σ_{i∈V} aᵢ·xᵢ (+ b): dropping a variable is not the same as
+// setting its coefficient to 0, because 0·⊥ = ⊥ and x ⊕ ⊥ = ⊥ in a
+// general POPS (Sec. 5.5 proof of Theorem 5.22).
+#ifndef DATALOGO_POLY_LINEAR_LFP_H_
+#define DATALOGO_POLY_LINEAR_LFP_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/semiring/stability.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// Σ terms aᵢ·xᵢ plus an optional explicit constant monomial.
+template <Pops P>
+struct LinearFunction {
+  using Value = typename P::Value;
+
+  /// (variable index, coefficient); at most one entry per variable after
+  /// Normalize().
+  std::vector<std::pair<int, Value>> terms;
+  /// Explicit constant monomial; std::nullopt means "no constant monomial"
+  /// (distinct from a constant of 0 over a non-semiring POPS).
+  std::optional<Value> constant;
+
+  Value Evaluate(const std::vector<Value>& x) const {
+    Value sum = P::Zero();
+    for (const auto& [v, a] : terms) {
+      DLO_CHECK(v >= 0 && static_cast<std::size_t>(v) < x.size());
+      sum = P::Plus(sum, P::Times(a, x[v]));
+    }
+    if (constant.has_value()) sum = P::Plus(sum, *constant);
+    return sum;
+  }
+
+  /// Merges duplicate variable terms: a₁·x ⊕ a₂·x = (a₁ ⊕ a₂)·x, valid by
+  /// distributivity in every pre-semiring.
+  void Normalize() {
+    std::vector<std::pair<int, Value>> merged;
+    for (auto& [v, a] : terms) {
+      bool found = false;
+      for (auto& [mv, ma] : merged) {
+        if (mv == v) {
+          ma = P::Plus(ma, a);
+          found = true;
+          break;
+        }
+      }
+      if (!found) merged.emplace_back(v, a);
+    }
+    terms = std::move(merged);
+  }
+
+  /// Adds the term a·x_v.
+  void AddTerm(int v, Value a) { terms.emplace_back(v, std::move(a)); }
+
+  /// Adds c to the constant monomial (creating it if absent).
+  void AddConstant(Value c) {
+    constant = constant.has_value() ? P::Plus(*constant, std::move(c))
+                                    : std::move(c);
+  }
+
+  /// Removes and returns the coefficient of x_v, if present.
+  std::optional<Value> ExtractTerm(int v) {
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (terms[i].first == v) {
+        Value a = std::move(terms[i].second);
+        terms.erase(terms.begin() + i);
+        return a;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Substitutes the linear function g for x_v: each term a·x_v becomes
+  /// a·g = Σⱼ (a⊗cⱼ)·xⱼ ⊕ a⊗c₀. Normalizes afterwards.
+  void Substitute(int v, const LinearFunction& g) {
+    std::optional<Value> a = ExtractTerm(v);
+    if (!a.has_value()) return;
+    for (const auto& [w, c] : g.terms) {
+      AddTerm(w, P::Times(*a, c));
+    }
+    if (g.constant.has_value()) {
+      AddConstant(P::Times(*a, *g.constant));
+    }
+    Normalize();
+  }
+};
+
+/// LinearLFP (Algorithm 2): least fixpoint of x_i = f_i(x_1..x_N) over a
+/// p-stable POPS with strict ⊗. Recursion eliminates the last variable:
+///   if f_N is independent of x_N:      c(x) = f_N(x)
+///   if f_N = a·x_N ⊕ b(x):             c(x) = a^(p)·b(x) ⊕ ⊥
+/// then solves the remaining (N−1)-system with c substituted for x_N.
+template <Pops P>
+std::vector<typename P::Value> LinearLFP(
+    std::vector<LinearFunction<P>> fs, int p) {
+  using Value = typename P::Value;
+  const int n = static_cast<int>(fs.size());
+  if (n == 0) return {};
+
+  for (auto& f : fs) f.Normalize();
+
+  LinearFunction<P>& fn = fs[n - 1];
+  std::optional<Value> a_nn = fn.ExtractTerm(n - 1);
+
+  // Build c(x_1..x_{N-1}), the closed form of x_N (Lemma 3.3 with the
+  // q-stability of g_x(y) = a·y ⊕ b(x)).
+  LinearFunction<P> c;
+  if (!a_nn.has_value()) {
+    c = fn;  // f_N does not depend on x_N
+  } else {
+    Value star = StarTruncated<P>(*a_nn, p);  // a^(p)
+    for (const auto& [v, coef] : fn.terms) {
+      c.AddTerm(v, P::Times(star, coef));
+    }
+    if (fn.constant.has_value()) {
+      c.AddConstant(P::Times(star, *fn.constant));
+    }
+    // The ⊕ ⊥ from g^(p+1)(⊥) = a^(p)·b(x) ⊕ ⊥.
+    c.AddConstant(P::Bottom());
+  }
+
+  std::vector<LinearFunction<P>> reduced(fs.begin(), fs.end() - 1);
+  for (auto& f : reduced) f.Substitute(n - 1, c);
+
+  std::vector<Value> solution = LinearLFP<P>(std::move(reduced), p);
+  // c only mentions variables < n-1; pad so Evaluate can index safely.
+  solution.push_back(P::Bottom());
+  solution[n - 1] = c.Evaluate(solution);
+  return solution;
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_POLY_LINEAR_LFP_H_

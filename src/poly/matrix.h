@@ -1,0 +1,140 @@
+// Dense matrices over a semiring and the matrix stability index of
+// Sec. 5.5: A is q-stable when A^(q) = A^(q+1) with A^(q) = I + A + … + A^q.
+// Lemma 5.20: over Trop+_p every N×N matrix is ((p+1)N − 1)-stable, and the
+// N-cycle attains the bound.
+#ifndef DATALOGO_POLY_MATRIX_H_
+#define DATALOGO_POLY_MATRIX_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// An n×n (or n×m) matrix with entries in the semiring S.
+template <PreSemiring S>
+class Matrix {
+ public:
+  using Value = typename S::Value;
+
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Cell{S::Zero()}) {}
+
+  static Matrix Identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m.at(i, i) = S::One();
+    return m;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Value& at(int i, int j) {
+    DLO_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * cols_ + j].v;
+  }
+  const Value& at(int i, int j) const {
+    DLO_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * cols_ + j].v;
+  }
+
+  bool Equals(const Matrix& other) const {
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    for (std::size_t k = 0; k < data_.size(); ++k) {
+      if (!S::Eq(data_[k].v, other.data_[k].v)) return false;
+    }
+    return true;
+  }
+
+  Matrix Plus(const Matrix& other) const {
+    DLO_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+    Matrix out(rows_, cols_);
+    for (std::size_t k = 0; k < data_.size(); ++k) {
+      out.data_[k].v = S::Plus(data_[k].v, other.data_[k].v);
+    }
+    return out;
+  }
+
+  Matrix Times(const Matrix& other) const {
+    DLO_CHECK(cols_ == other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (int i = 0; i < rows_; ++i) {
+      for (int j = 0; j < other.cols_; ++j) {
+        Value acc = S::Zero();
+        for (int k = 0; k < cols_; ++k) {
+          acc = S::Plus(acc, S::Times(at(i, k), other.at(k, j)));
+        }
+        out.at(i, j) = acc;
+      }
+    }
+    return out;
+  }
+
+  /// y = A·x over S.
+  std::vector<Value> Apply(const std::vector<Value>& x) const {
+    DLO_CHECK(static_cast<int>(x.size()) == cols_);
+    std::vector<Value> y(rows_, S::Zero());
+    for (int i = 0; i < rows_; ++i) {
+      Value acc = S::Zero();
+      for (int k = 0; k < cols_; ++k) {
+        acc = S::Plus(acc, S::Times(at(i, k), x[k]));
+      }
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  std::string ToString() const {
+    std::string out;
+    for (int i = 0; i < rows_; ++i) {
+      for (int j = 0; j < cols_; ++j) {
+        if (j) out += " ";
+        out += S::ToString(at(i, j));
+      }
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  // Cell wrapper sidesteps the std::vector<bool> proxy-reference
+  // specialization so at() can hand out real references for every S.
+  struct Cell {
+    Value v;
+  };
+
+  int rows_, cols_;
+  std::vector<Cell> data_;
+};
+
+/// Least q ≤ max_q with A^(q) = A^(q+1) (the matrix stability index of
+/// Sec. 5.5), or nullopt if not reached. Uses A^(q+1) = I + A·A^(q).
+template <PreSemiring S>
+std::optional<int> MatrixStabilityIndex(const Matrix<S>& a, int max_q) {
+  DLO_CHECK(a.rows() == a.cols());
+  Matrix<S> sum = Matrix<S>::Identity(a.rows());  // A^(0)
+  for (int q = 0; q <= max_q; ++q) {
+    Matrix<S> next = Matrix<S>::Identity(a.rows()).Plus(a.Times(sum));
+    if (next.Equals(sum)) return q;
+    sum = std::move(next);
+  }
+  return std::nullopt;
+}
+
+/// A^(q) = I + A + … + A^q.
+template <PreSemiring S>
+Matrix<S> MatrixStarTruncated(const Matrix<S>& a, int q) {
+  DLO_CHECK(a.rows() == a.cols());
+  Matrix<S> sum = Matrix<S>::Identity(a.rows());
+  for (int i = 0; i < q; ++i) {
+    sum = Matrix<S>::Identity(a.rows()).Plus(a.Times(sum));
+  }
+  return sum;
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_POLY_MATRIX_H_

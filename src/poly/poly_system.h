@@ -1,0 +1,149 @@
+// Vector-valued polynomial systems f : P^N → P^N — the grounded form of a
+// datalog° program (Sec. 4.3). Provides the naive (Kleene) iteration with
+// step counting, the recursive-variable analysis of Sec. 5.4, and the
+// theoretical convergence bounds of Theorem 5.12 for comparison.
+#ifndef DATALOGO_POLY_POLY_SYSTEM_H_
+#define DATALOGO_POLY_POLY_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/fixpoint/fixpoint.h"
+#include "src/poly/polynomial.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// Result of iterating a polynomial system from ⊥.
+template <Pops P>
+struct PolyIterationResult {
+  std::vector<typename P::Value> values;
+  int steps = 0;        ///< stability index if converged, else the budget
+  bool converged = false;
+};
+
+/// f = (f₁, …, f_N), one polynomial per variable.
+template <Pops P>
+class PolySystem {
+ public:
+  using Value = typename P::Value;
+
+  explicit PolySystem(int num_vars)
+      : num_vars_(num_vars), polys_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+
+  Polynomial<P>& poly(int i) {
+    DLO_CHECK(i >= 0 && i < num_vars_);
+    return polys_[i];
+  }
+  const Polynomial<P>& poly(int i) const {
+    DLO_CHECK(i >= 0 && i < num_vars_);
+    return polys_[i];
+  }
+
+  /// One application of the immediate consequence operator.
+  std::vector<Value> Evaluate(const std::vector<Value>& x) const {
+    DLO_CHECK(static_cast<int>(x.size()) == num_vars_);
+    std::vector<Value> out;
+    out.reserve(num_vars_);
+    for (const auto& f : polys_) out.push_back(f.Evaluate(x));
+    return out;
+  }
+
+  /// Algorithm 1 (naive evaluation): iterate from ⊥^N until fixpoint.
+  PolyIterationResult<P> NaiveIterate(int max_steps) const {
+    std::vector<Value> x(num_vars_, P::Bottom());
+    auto step = [this](const std::vector<Value>& v) { return Evaluate(v); };
+    auto eq = [](const std::vector<Value>& a, const std::vector<Value>& b) {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!P::Eq(a[i], b[i])) return false;
+      }
+      return true;
+    };
+    FixpointStats stats = IterateToFixpoint(x, step, eq, max_steps);
+    return {std::move(x), stats.steps, stats.converged};
+  }
+
+  /// True if every component polynomial is linear (Sec. 5.3).
+  bool IsLinear() const {
+    for (const auto& f : polys_) {
+      if (!f.IsLinear()) return false;
+    }
+    return true;
+  }
+
+  /// The dependency graph G_f of Sec. 5.4: edge i → j iff f_j depends on
+  /// x_i. A variable is *recursive* if it lies on a cycle or is reachable
+  /// from one; recursive variables can never escape the core semiring P+⊥
+  /// (Proposition 5.16).
+  std::vector<bool> RecursiveVars() const {
+    // adj[i] = variables j such that f_j depends on x_i (edges i → j).
+    std::vector<std::vector<int>> adj(num_vars_);
+    for (int j = 0; j < num_vars_; ++j) {
+      for (int i = 0; i < num_vars_; ++i) {
+        if (polys_[j].DependsOn(i)) adj[i].push_back(j);
+      }
+    }
+    // A variable is on a cycle iff it can reach itself; then propagate
+    // forward. N is the number of grounded atoms (small in our use), so the
+    // O(N·E) reachability pass is fine.
+    std::vector<bool> recursive(num_vars_, false);
+    for (int s = 0; s < num_vars_; ++s) {
+      // BFS from s; if we re-enter s, it is on a cycle.
+      std::vector<bool> seen(num_vars_, false);
+      std::vector<int> queue = adj[s];
+      while (!queue.empty()) {
+        int v = queue.back();
+        queue.pop_back();
+        if (v == s) {
+          recursive[s] = true;
+        }
+        if (seen[v]) continue;
+        seen[v] = true;
+        for (int w : adj[v]) {
+          if (!seen[w]) queue.push_back(w);
+        }
+      }
+    }
+    // Propagate: recursive if reachable from a recursive variable.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int i = 0; i < num_vars_; ++i) {
+        if (!recursive[i]) continue;
+        for (int j : adj[i]) {
+          if (!recursive[j]) {
+            recursive[j] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    return recursive;
+  }
+
+  /// The Theorem 5.12 / Corollary 5.18 bound on the stability index of this
+  /// system over a p-stable POPS (saturating).
+  uint64_t ConvergenceBound(int p) const {
+    return IsLinear() ? LinearConvergenceBound(p, num_vars_)
+                      : GeneralConvergenceBound(p, num_vars_);
+  }
+
+  std::string ToString() const {
+    std::string out;
+    for (int i = 0; i < num_vars_; ++i) {
+      out += "x" + std::to_string(i) + " :- " + polys_[i].ToString() + "\n";
+    }
+    return out;
+  }
+
+ private:
+  int num_vars_;
+  std::vector<Polynomial<P>> polys_;
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_POLY_POLY_SYSTEM_H_

@@ -1,0 +1,151 @@
+// Multivariate polynomials over a POPS (Sec. 2.2). Monomials are kept as an
+// EXPLICIT list: over a POPS that is not a semiring, a monomial with
+// coefficient 0 is not the same as an absent monomial (0 ⊗ ⊥ = ⊥ ≠ 0 in
+// the lifted reals), so polynomials never "pad" with zero coefficients.
+#ifndef DATALOGO_POLY_POLYNOMIAL_H_
+#define DATALOGO_POLY_POLYNOMIAL_H_
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// A monomial c · x₁^{k₁} ⋯ x_N^{k_N} with only the non-zero exponents
+/// stored, sorted by variable index.
+template <Pops P>
+struct Monomial {
+  typename P::Value coeff = P::One();
+  /// (variable index, exponent ≥ 1), strictly increasing in the index.
+  std::vector<std::pair<int, int>> powers;
+  /// Variables appearing under the POPS's `Not` function (Sec. 7): each
+  /// entry v contributes a factor Not(x_v). Only valid for POPS exposing
+  /// a monotone Not (THREE, FOUR).
+  std::vector<int> negations;
+
+  /// Total degree Σ kᵢ (Sec. 2.2), counting negated factors.
+  int Degree() const {
+    int d = static_cast<int>(negations.size());
+    for (const auto& [v, e] : powers) d += e;
+    return d;
+  }
+
+  /// Evaluates the monomial at the given assignment.
+  typename P::Value Evaluate(const std::vector<typename P::Value>& x) const {
+    typename P::Value result = coeff;
+    for (const auto& [v, e] : powers) {
+      DLO_CHECK(v >= 0 && static_cast<std::size_t>(v) < x.size());
+      for (int i = 0; i < e; ++i) result = P::Times(result, x[v]);
+    }
+    for (int v : negations) {
+      DLO_CHECK(v >= 0 && static_cast<std::size_t>(v) < x.size());
+      if constexpr (requires(const typename P::Value& a) { P::Not(a); }) {
+        result = P::Times(result, P::Not(x[v]));
+      } else {
+        DLO_CHECK_MSG(false, "POPS does not define Not()");
+      }
+    }
+    return result;
+  }
+
+  /// Sorts the power list and merges duplicate variables; call after
+  /// building a monomial by hand.
+  void Normalize() {
+    std::sort(powers.begin(), powers.end());
+    std::vector<std::pair<int, int>> merged;
+    for (const auto& [v, e] : powers) {
+      if (!merged.empty() && merged.back().first == v) {
+        merged.back().second += e;
+      } else {
+        merged.emplace_back(v, e);
+      }
+    }
+    powers = std::move(merged);
+  }
+};
+
+/// A polynomial = explicit sum of monomials; the empty sum evaluates to 0.
+template <Pops P>
+struct Polynomial {
+  std::vector<Monomial<P>> monomials;
+
+  /// Builds the constant polynomial {c}.
+  static Polynomial Constant(typename P::Value c) {
+    Polynomial f;
+    f.monomials.push_back(Monomial<P>{std::move(c), {}, {}});
+    return f;
+  }
+
+  /// Builds the single-variable polynomial c·x_v^e.
+  static Polynomial Term(typename P::Value c, int var, int exp = 1) {
+    Polynomial f;
+    f.monomials.push_back(Monomial<P>{std::move(c), {{var, exp}}, {}});
+    return f;
+  }
+
+  void Add(Monomial<P> m) { monomials.push_back(std::move(m)); }
+
+  void AddAll(const Polynomial& other) {
+    monomials.insert(monomials.end(), other.monomials.begin(),
+                     other.monomials.end());
+  }
+
+  typename P::Value Evaluate(const std::vector<typename P::Value>& x) const {
+    typename P::Value sum = P::Zero();
+    for (const auto& m : monomials) sum = P::Plus(sum, m.Evaluate(x));
+    return sum;
+  }
+
+  /// True if every monomial has total degree ≤ 1 ("linear", Sec. 5.3).
+  bool IsLinear() const {
+    for (const auto& m : monomials) {
+      if (m.Degree() > 1) return false;
+    }
+    return true;
+  }
+
+  /// Maximum total degree over the monomials (0 for constants/empty).
+  int Degree() const {
+    int d = 0;
+    for (const auto& m : monomials) d = std::max(d, m.Degree());
+    return d;
+  }
+
+  /// True if some monomial mentions variable v (directly or under Not).
+  bool DependsOn(int v) const {
+    for (const auto& m : monomials) {
+      for (const auto& [var, e] : m.powers) {
+        if (var == v && e >= 1) return true;
+      }
+      for (int nv : m.negations) {
+        if (nv == v) return true;
+      }
+    }
+    return false;
+  }
+
+  std::string ToString(const std::string& var_prefix = "x") const {
+    if (monomials.empty()) return "<empty>";
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& m : monomials) {
+      if (!first) os << " + ";
+      first = false;
+      os << P::ToString(m.coeff);
+      for (const auto& [v, e] : m.powers) {
+        os << "*" << var_prefix << v;
+        if (e > 1) os << "^" << e;
+      }
+    }
+    return os.str();
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_POLY_POLYNOMIAL_H_

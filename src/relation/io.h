@@ -1,0 +1,152 @@
+// TSV import/export for K-relations: one tuple per line, tab- (or
+// whitespace-) separated key columns, with the POPS value in the last
+// column for POPS relations. Integer-looking keys intern as integers,
+// everything else as symbols.
+#ifndef DATALOGO_RELATION_IO_H_
+#define DATALOGO_RELATION_IO_H_
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/status.h"
+#include "src/relation/relation.h"
+#include "src/semiring/boolean.h"
+
+namespace datalogo {
+namespace io_internal {
+
+inline bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+inline ConstId InternToken(const std::string& tok, Domain* dom) {
+  if (LooksLikeInt(tok)) return dom->InternInt(std::stoll(tok));
+  return dom->InternSymbol(tok);
+}
+
+inline std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace io_internal
+
+/// Loads a POPS relation from TSV text: k key columns then one value
+/// column, parsed by `parse_value(text, &value) -> bool`. Lines that are
+/// empty or start with '#' are skipped. Repeated tuples accumulate via ⊕.
+template <Pops P, typename ParseFn>
+Status LoadTsv(const std::string& text, Domain* dom, Relation<P>* rel,
+               ParseFn&& parse_value) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> toks = io_internal::SplitLine(line);
+    if (toks.empty()) continue;
+    if (static_cast<int>(toks.size()) != rel->arity() + 1) {
+      return InvalidArgument("line " + std::to_string(lineno) +
+                             ": expected " + std::to_string(rel->arity()) +
+                             " keys + 1 value, got " +
+                             std::to_string(toks.size()) + " columns");
+    }
+    Tuple t;
+    t.reserve(rel->arity());
+    for (int i = 0; i < rel->arity(); ++i) {
+      t.push_back(io_internal::InternToken(toks[i], dom));
+    }
+    typename P::Value v;
+    if (!parse_value(toks.back(), &v)) {
+      return InvalidArgument("line " + std::to_string(lineno) +
+                             ": cannot parse value '" + toks.back() + "'");
+    }
+    rel->Merge(t, v);
+  }
+  return Status::Ok();
+}
+
+/// Loads a Boolean relation: every column is a key, the value is true.
+inline Status LoadTsvBool(const std::string& text, Domain* dom,
+                          Relation<BoolS>* rel) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> toks = io_internal::SplitLine(line);
+    if (toks.empty()) continue;
+    if (static_cast<int>(toks.size()) != rel->arity()) {
+      return InvalidArgument("line " + std::to_string(lineno) +
+                             ": expected " + std::to_string(rel->arity()) +
+                             " key columns");
+    }
+    Tuple t;
+    for (const std::string& tok : toks) {
+      t.push_back(io_internal::InternToken(tok, dom));
+    }
+    rel->Set(t, true);
+  }
+  return Status::Ok();
+}
+
+/// Standard value parsers for the common carriers.
+inline bool ParseDoubleValue(const std::string& s, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+inline bool ParseUintValue(const std::string& s, uint64_t* out) {
+  if (!io_internal::LooksLikeInt(s) || s[0] == '-') return false;
+  *out = std::stoull(s);
+  return true;
+}
+inline bool ParseBoolValue(const std::string& s, bool* out) {
+  if (s == "1" || s == "true") {
+    *out = true;
+    return true;
+  }
+  if (s == "0" || s == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Dumps a relation as sorted TSV (keys then value).
+template <Pops P>
+std::string DumpTsv(const Relation<P>& rel, const Domain& dom) {
+  std::vector<const std::pair<const Tuple, typename P::Value>*> rows;
+  for (const auto& kv : rel.tuples()) rows.push_back(&kv);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::ostringstream os;
+  for (const auto* kv : rows) {
+    for (std::size_t i = 0; i < kv->first.size(); ++i) {
+      if (i) os << "\t";
+      os << dom.ToString(kv->first[i]);
+    }
+    os << "\t" << P::ToString(kv->second) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_RELATION_IO_H_

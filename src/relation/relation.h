@@ -1,0 +1,139 @@
+// K-relations (Sec. 2.3): finite-support maps GA(R, D) → P. Only tuples
+// with value ≠ ⊥ are stored — exactly the paper's notion of support, and
+// the reason semi-naive evaluation pays off (Sec. 1.1 discussion of ⊖).
+#ifndef DATALOGO_RELATION_RELATION_H_
+#define DATALOGO_RELATION_RELATION_H_
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/check.h"
+#include "src/relation/domain.h"
+#include "src/relation/tuple.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// A P-relation of fixed arity; absent tuples implicitly map to ⊥.
+template <Pops P>
+class Relation {
+ public:
+  using Value = typename P::Value;
+  using Map = std::unordered_map<Tuple, Value, TupleHash>;
+
+  explicit Relation(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  std::size_t support_size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// The value of a ground atom (⊥ when outside the support).
+  Value Get(const Tuple& t) const {
+    auto it = data_.find(t);
+    return it == data_.end() ? P::Bottom() : it->second;
+  }
+
+  bool Contains(const Tuple& t) const { return data_.count(t) > 0; }
+
+  /// Sets the value, maintaining the support invariant (⊥ values erase).
+  void Set(const Tuple& t, Value v) {
+    DLO_CHECK(static_cast<int>(t.size()) == arity_);
+    if (P::Eq(v, P::Bottom())) {
+      data_.erase(t);
+    } else {
+      data_[t] = std::move(v);
+    }
+  }
+
+  /// r(t) ← r(t) ⊕ v.
+  void Merge(const Tuple& t, const Value& v) { Set(t, P::Plus(Get(t), v)); }
+
+  void Clear() { data_.clear(); }
+
+  const Map& tuples() const { return data_; }
+
+  bool Equals(const Relation& other) const {
+    if (arity_ != other.arity_ || data_.size() != other.data_.size()) {
+      return false;
+    }
+    for (const auto& [t, v] : data_) {
+      auto it = other.data_.find(t);
+      if (it == other.data_.end() || !P::Eq(v, it->second)) return false;
+    }
+    return true;
+  }
+
+  /// Registers every constant in the support with `out`.
+  void CollectConstants(std::vector<ConstId>& out) const {
+    for (const auto& [t, v] : data_) {
+      out.insert(out.end(), t.begin(), t.end());
+    }
+  }
+
+  /// Deterministic rendering (sorted by tuple) for goldens and debugging.
+  std::string ToString(const Domain& dom) const {
+    std::vector<const typename Map::value_type*> rows;
+    rows.reserve(data_.size());
+    for (const auto& kv : data_) rows.push_back(&kv);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    std::ostringstream os;
+    for (const auto* kv : rows) {
+      os << "(";
+      for (std::size_t i = 0; i < kv->first.size(); ++i) {
+        if (i) os << ",";
+        os << dom.ToString(kv->first[i]);
+      }
+      os << ") -> " << P::ToString(kv->second) << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  int arity_;
+  Map data_;
+};
+
+/// An index over a relation keyed by a subset of argument positions;
+/// rebuilt per joining step by the engine (index nested-loop joins).
+template <Pops P>
+class RelationIndex {
+ public:
+  /// Builds an index of `rel` on the given positions.
+  RelationIndex(const Relation<P>& rel, std::vector<int> positions)
+      : positions_(std::move(positions)) {
+    for (const auto& kv : rel.tuples()) {
+      Tuple key;
+      key.reserve(positions_.size());
+      for (int p : positions_) key.push_back(kv.first[p]);
+      index_[key].push_back(&kv);
+    }
+  }
+
+  /// All support entries whose projection matches `key`.
+  const std::vector<const std::pair<const Tuple, typename P::Value>*>& Lookup(
+      const Tuple& key) const {
+    static const std::vector<
+        const std::pair<const Tuple, typename P::Value>*>
+        kEmpty;
+    auto it = index_.find(key);
+    return it == index_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<int>& positions() const { return positions_; }
+
+ private:
+  std::vector<int> positions_;
+  std::unordered_map<Tuple,
+                     std::vector<const std::pair<const Tuple,
+                                                 typename P::Value>*>,
+                     TupleHash>
+      index_;
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_RELATION_RELATION_H_

@@ -1,0 +1,24 @@
+// Tuples over the key space: fixed-arity sequences of interned ConstIds.
+#ifndef DATALOGO_RELATION_TUPLE_H_
+#define DATALOGO_RELATION_TUPLE_H_
+
+#include <vector>
+
+#include "src/core/hash.h"
+#include "src/relation/domain.h"
+
+namespace datalogo {
+
+/// A ground tuple t ∈ D^k.
+using Tuple = std::vector<ConstId>;
+
+/// Hash functor for tuples (for unordered containers).
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    return HashRange(t.begin(), t.end());
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_RELATION_TUPLE_H_

@@ -1,0 +1,33 @@
+// The Boolean semiring B = ({0,1}, ∨, ∧, 0, 1) — Example 2.2. Standard
+// relations (sets) are B-relations; datalog° over B is classic datalog.
+#ifndef DATALOGO_SEMIRING_BOOLEAN_H_
+#define DATALOGO_SEMIRING_BOOLEAN_H_
+
+#include <string>
+
+namespace datalogo {
+
+/// The Boolean semiring. Naturally ordered (0 ⪯ 1), 0-stable, and a
+/// complete distributive dioid with b ⊖ a = b ∧ ¬a (set difference).
+struct BoolS {
+  using Value = bool;
+  static constexpr const char* kName = "B";
+  static constexpr bool kIsSemiring = true;
+  static constexpr bool kNaturallyOrdered = true;
+  static constexpr bool kIdempotentPlus = true;
+
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Bottom() { return false; }
+  static Value Plus(Value a, Value b) { return a || b; }
+  static Value Times(Value a, Value b) { return a && b; }
+  static bool Eq(Value a, Value b) { return a == b; }
+  static bool Leq(Value a, Value b) { return !a || b; }
+  /// b ⊖ a per Eq. (58); the unique c ⊑ b with a ⊕ c = a ∨ b.
+  static Value Minus(Value b, Value a) { return b && !a; }
+  static std::string ToString(Value a) { return a ? "1" : "0"; }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_BOOLEAN_H_

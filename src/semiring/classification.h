@@ -1,0 +1,108 @@
+// Compile-time stability classification of the library's POPS — the
+// algebraic inputs to Theorem 1.2. The class describes the CORE semiring
+// P+⊥ (Prop. 2.4), which is what convergence depends on:
+//   * kUniformlyStable(p): every element is p-stable  → cases (iv)/(v)
+//   * kStable: stable, but no uniform p               → case (iii)
+//   * kUnstable: some element is not stable           → may diverge
+#ifndef DATALOGO_SEMIRING_CLASSIFICATION_H_
+#define DATALOGO_SEMIRING_CLASSIFICATION_H_
+
+#include "src/semiring/boolean.h"
+#include "src/semiring/completed.h"
+#include "src/semiring/four.h"
+#include "src/semiring/lifted.h"
+#include "src/semiring/naturals.h"
+#include "src/semiring/provenance.h"
+#include "src/semiring/reals.h"
+#include "src/semiring/three.h"
+#include "src/semiring/traits.h"
+#include "src/semiring/trop_eta.h"
+#include "src/semiring/trop_p.h"
+#include "src/semiring/tropical.h"
+
+namespace datalogo {
+
+/// How stable the core semiring P+⊥ is.
+enum class StabilityClass {
+  kUniformlyStable,  ///< p-stable for the p in `core_stability_p`
+  kStable,           ///< every element stable, no uniform p (Trop+_eta)
+  kUnstable,         ///< has non-stable elements (N, MaxPlus, N[X])
+};
+
+/// Default: unknown POPS are conservatively unstable.
+template <Pops P>
+struct CoreStability {
+  static constexpr StabilityClass kClass = StabilityClass::kUnstable;
+  static constexpr int kP = -1;
+};
+
+template <>
+struct CoreStability<BoolS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+template <>
+struct CoreStability<TropS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+template <>
+struct CoreStability<TropNatS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+template <>
+struct CoreStability<ViterbiS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+template <>
+struct CoreStability<FuzzyS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+template <>
+struct CoreStability<PosBoolS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+/// Trop+_p is exactly p-stable (Prop. 5.3).
+template <int kPp>
+struct CoreStability<TropPS<kPp>> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = kPp;
+};
+/// Trop+_eta: stable but not uniformly (Prop. 5.4).
+template <>
+struct CoreStability<TropEtaS> {
+  static constexpr StabilityClass kClass = StabilityClass::kStable;
+  static constexpr int kP = -1;
+};
+/// Lifted POPS: the core semiring is trivial ({⊥}), hence 0-stable
+/// (Sec. 2.5.1 + Cor. 5.17: every program converges).
+template <PreSemiring S>
+struct CoreStability<Lifted<S>> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+template <PreSemiring S>
+struct CoreStability<Completed<S>> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+/// THREE's core is {⊥, 1} ≅ B (Sec. 2.5.2): 0-stable.
+template <>
+struct CoreStability<ThreeS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+template <>
+struct CoreStability<FourS> {
+  static constexpr StabilityClass kClass = StabilityClass::kUniformlyStable;
+  static constexpr int kP = 0;
+};
+// N, R+, MaxPlus, N[X] fall through to the unstable default.
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_CLASSIFICATION_H_

@@ -1,0 +1,74 @@
+// Completed POPS S⊥⊤ (Sec. 2.5.1 "Representing Contradiction"): adjoin
+// both ⊥ (undefined) and ⊤ (contradiction). ⊥ is strict and absorbs both
+// operations; ⊤ absorbs among non-⊥ values. Order: ⊥ ⊑ x ⊑ ⊤.
+#ifndef DATALOGO_SEMIRING_COMPLETED_H_
+#define DATALOGO_SEMIRING_COMPLETED_H_
+
+#include <string>
+#include <variant>
+
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// S⊥⊤ for a base pre-semiring S. ⊥ = "no value yet", ⊤ = "conflicting
+/// values"; intuitively ⊥ = ∅, x = {x}, ⊤ = S (Sec. 2.5.1).
+template <PreSemiring S>
+struct Completed {
+  struct BotTag {
+    bool operator==(const BotTag&) const { return true; }
+  };
+  struct TopTag {
+    bool operator==(const TopTag&) const { return true; }
+  };
+  using Value = std::variant<BotTag, typename S::Value, TopTag>;
+  static constexpr const char* kName = "Completed";
+  static constexpr bool kIsSemiring = false;
+  static constexpr bool kNaturallyOrdered = false;
+  static constexpr bool kIdempotentPlus = false;
+
+  static Value Zero() { return Value(std::in_place_index<1>, S::Zero()); }
+  static Value One() { return Value(std::in_place_index<1>, S::One()); }
+  static Value Bottom() { return Value(BotTag{}); }
+  static Value Top() { return Value(TopTag{}); }
+  static Value Lift(typename S::Value v) {
+    return Value(std::in_place_index<1>, std::move(v));
+  }
+
+  static bool IsBot(const Value& v) { return v.index() == 0; }
+  static bool IsTop(const Value& v) { return v.index() == 2; }
+
+  static Value Plus(const Value& a, const Value& b) {
+    if (IsBot(a) || IsBot(b)) return Bottom();  // ⊥ strict
+    if (IsTop(a) || IsTop(b)) return Top();     // x ⊕ ⊤ = ⊤ for x ≠ ⊥
+    return Lift(S::Plus(std::get<1>(a), std::get<1>(b)));
+  }
+
+  static Value Times(const Value& a, const Value& b) {
+    if (IsBot(a) || IsBot(b)) return Bottom();
+    if (IsTop(a) || IsTop(b)) return Top();
+    return Lift(S::Times(std::get<1>(a), std::get<1>(b)));
+  }
+
+  static bool Eq(const Value& a, const Value& b) {
+    if (a.index() != b.index()) return false;
+    if (a.index() != 1) return true;
+    return S::Eq(std::get<1>(a), std::get<1>(b));
+  }
+
+  /// x ⊑ y iff x = ⊥, x = y, or y = ⊤.
+  static bool Leq(const Value& a, const Value& b) {
+    if (IsBot(a) || IsTop(b)) return true;
+    return Eq(a, b);
+  }
+
+  static std::string ToString(const Value& a) {
+    if (IsBot(a)) return "bot";
+    if (IsTop(a)) return "top";
+    return S::ToString(std::get<1>(a));
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_COMPLETED_H_

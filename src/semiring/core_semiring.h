@@ -1,0 +1,36 @@
+// The core semiring P+⊥ of a POPS (Proposition 2.4): the image of
+// x ↦ x ⊕ ⊥, which is a semiring whenever ⊗ is strict. Theorem 1.2 ties
+// convergence of every datalog° program over P to stability of P+⊥.
+#ifndef DATALOGO_SEMIRING_CORE_SEMIRING_H_
+#define DATALOGO_SEMIRING_CORE_SEMIRING_H_
+
+#include <string>
+
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// P+⊥ as a semiring tag type; values are P-values of the form x ⊕ ⊥.
+/// Inject() maps a P-value into the core; Zero()/One() are 0⊕⊥ and 1⊕⊥.
+template <Pops P>
+struct CoreSemiring {
+  using Value = typename P::Value;
+  static constexpr const char* kName = "Core";
+  static constexpr bool kIsSemiring = true;  // Proposition 2.4
+  static constexpr bool kNaturallyOrdered = P::kNaturallyOrdered;
+  static constexpr bool kIdempotentPlus = P::kIdempotentPlus;
+
+  static Value Inject(const Value& x) { return P::Plus(x, P::Bottom()); }
+  static Value Zero() { return Inject(P::Zero()); }
+  static Value One() { return Inject(P::One()); }
+  static Value Bottom() { return Zero(); }
+  static Value Plus(const Value& a, const Value& b) { return P::Plus(a, b); }
+  static Value Times(const Value& a, const Value& b) { return P::Times(a, b); }
+  static bool Eq(const Value& a, const Value& b) { return P::Eq(a, b); }
+  static bool Leq(const Value& a, const Value& b) { return P::Leq(a, b); }
+  static std::string ToString(const Value& a) { return P::ToString(a); }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_CORE_SEMIRING_H_

@@ -1,0 +1,93 @@
+// Belnap's bilattice FOUR (Sec. 7.3, Fig. 5): truth values {⊥, 0, 1, ⊤}
+// carrying both a truth order (0 ≤t ⊥,⊤ ≤t 1 with ⊥,⊤ incomparable) and a
+// knowledge order (⊥ ≤k 0,1 ≤k ⊤ with 0,1 incomparable). The semiring
+// operations ∨/∧ are lub/glb of the truth order; the POPS order is the
+// knowledge order. Fitting showed ⊤ never appears in the ≤k-least fixpoint
+// ([21] Prop. 7.1) — tested in tests/four_test.cc.
+#ifndef DATALOGO_SEMIRING_FOUR_H_
+#define DATALOGO_SEMIRING_FOUR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace datalogo {
+
+/// The four Belnap values.
+enum class Belnap : uint8_t { kBot = 0, kFalse = 1, kTrue = 2, kTop = 3 };
+
+/// FOUR = ({⊥,0,1,⊤}, ∨t, ∧t, 0, 1, ≤k).
+struct FourS {
+  using Value = Belnap;
+  static constexpr const char* kName = "FOUR";
+  static constexpr bool kIsSemiring = true;
+  static constexpr bool kNaturallyOrdered = false;
+  static constexpr bool kIdempotentPlus = true;
+
+  static Value Zero() { return Belnap::kFalse; }
+  static Value One() { return Belnap::kTrue; }
+  static Value Bottom() { return Belnap::kBot; }
+  static Value Top() { return Belnap::kTop; }
+
+  // Encode the truth order as an integer "truth degree" for 0 and 1 and
+  // handle the middle layer {⊥, ⊤} explicitly.
+
+  /// lub in the truth order.
+  static Value Plus(Value a, Value b) {
+    if (a == b) return a;
+    if (a == Belnap::kFalse) return b;
+    if (b == Belnap::kFalse) return a;
+    if (a == Belnap::kTrue || b == Belnap::kTrue) return Belnap::kTrue;
+    // {⊥, ⊤} with a ≠ b: lub_t(⊥, ⊤) = 1.
+    return Belnap::kTrue;
+  }
+
+  /// glb in the truth order.
+  static Value Times(Value a, Value b) {
+    if (a == b) return a;
+    if (a == Belnap::kTrue) return b;
+    if (b == Belnap::kTrue) return a;
+    if (a == Belnap::kFalse || b == Belnap::kFalse) return Belnap::kFalse;
+    // {⊥, ⊤} with a ≠ b: glb_t(⊥, ⊤) = 0.
+    return Belnap::kFalse;
+  }
+
+  static bool Eq(Value a, Value b) { return a == b; }
+
+  /// Knowledge order: ⊥ ≤k {0,1} ≤k ⊤.
+  static bool Leq(Value a, Value b) {
+    if (a == b) return true;
+    if (a == Belnap::kBot) return true;
+    if (b == Belnap::kTop) return true;
+    return false;
+  }
+
+  /// Negation flips 0/1, fixes ⊥ and ⊤; monotone in ≤k.
+  static Value Not(Value a) {
+    switch (a) {
+      case Belnap::kFalse:
+        return Belnap::kTrue;
+      case Belnap::kTrue:
+        return Belnap::kFalse;
+      default:
+        return a;
+    }
+  }
+
+  static std::string ToString(Value a) {
+    switch (a) {
+      case Belnap::kBot:
+        return "bot";
+      case Belnap::kFalse:
+        return "0";
+      case Belnap::kTrue:
+        return "1";
+      case Belnap::kTop:
+        return "top";
+    }
+    return "?";
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_FOUR_H_

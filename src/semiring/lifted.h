@@ -1,0 +1,59 @@
+// Lifted POPS S⊥ (Sec. 2.5.1 "Representing Undefined"): adjoin a bottom
+// element ⊥ to a pre-semiring with the flat order (x ⊑ y iff x = ⊥ or
+// x = y) and strict operations x ⊕ ⊥ = x ⊗ ⊥ = ⊥. A lifted POPS is never
+// a semiring (0 ⊗ ⊥ = ⊥ ≠ 0); its core semiring S⊥+⊥ is trivial ({⊥}),
+// which by Corollary 5.17 makes every datalog° program over it converge.
+// R⊥ (lifted reals) drives the bill-of-material example (Example 4.2).
+#ifndef DATALOGO_SEMIRING_LIFTED_H_
+#define DATALOGO_SEMIRING_LIFTED_H_
+
+#include <optional>
+#include <string>
+
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// S⊥ for a base pre-semiring S; std::nullopt encodes ⊥.
+template <PreSemiring S>
+struct Lifted {
+  using Value = std::optional<typename S::Value>;
+  static constexpr const char* kName = "Lifted";
+  static constexpr bool kIsSemiring = false;      // 0 ⊗ ⊥ = ⊥ ≠ 0
+  static constexpr bool kNaturallyOrdered = false;
+  static constexpr bool kIdempotentPlus = false;
+
+  static Value Zero() { return typename S::Value(S::Zero()); }
+  static Value One() { return typename S::Value(S::One()); }
+  static Value Bottom() { return std::nullopt; }
+  static Value Lift(typename S::Value v) { return Value(std::move(v)); }
+
+  static Value Plus(const Value& a, const Value& b) {
+    if (!a || !b) return std::nullopt;  // strict addition
+    return Value(S::Plus(*a, *b));
+  }
+
+  static Value Times(const Value& a, const Value& b) {
+    if (!a || !b) return std::nullopt;  // strict multiplication
+    return Value(S::Times(*a, *b));
+  }
+
+  static bool Eq(const Value& a, const Value& b) {
+    if (!a || !b) return !a && !b;
+    return S::Eq(*a, *b);
+  }
+
+  /// Flat order: ⊥ ⊑ x, and x ⊑ x.
+  static bool Leq(const Value& a, const Value& b) {
+    if (!a) return true;
+    return Eq(a, b);
+  }
+
+  static std::string ToString(const Value& a) {
+    return a ? S::ToString(*a) : "bot";
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_LIFTED_H_

@@ -1,0 +1,49 @@
+// The naturals (N, +, ×, 0, 1) — Example 2.2 — extended with ∞ so that
+// divergent computations saturate instead of overflowing. Bag semantics
+// uses N-relations. N is naturally ordered but NOT stable: the one-rule
+// program x :- 1 + 2x diverges (Section 5 opening example).
+#ifndef DATALOGO_SEMIRING_NATURALS_H_
+#define DATALOGO_SEMIRING_NATURALS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace datalogo {
+
+/// N ∪ {∞} with saturating arithmetic; kInf represents ∞.
+struct NatS {
+  using Value = uint64_t;
+  static constexpr Value kInf = std::numeric_limits<uint64_t>::max();
+  static constexpr const char* kName = "N";
+  static constexpr bool kIsSemiring = true;
+  static constexpr bool kNaturallyOrdered = true;
+  static constexpr bool kIdempotentPlus = false;
+
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Bottom() { return 0; }
+
+  static Value Plus(Value a, Value b) {
+    if (a == kInf || b == kInf) return kInf;
+    Value s = a + b;
+    return (s < a) ? kInf : s;  // saturate on overflow
+  }
+
+  static Value Times(Value a, Value b) {
+    if (a == 0 || b == 0) return 0;
+    if (a == kInf || b == kInf) return kInf;
+    if (a > kInf / b) return kInf;  // saturate on overflow
+    return a * b;
+  }
+
+  static bool Eq(Value a, Value b) { return a == b; }
+  static bool Leq(Value a, Value b) { return a <= b; }
+  static std::string ToString(Value a) {
+    return a == kInf ? "inf" : std::to_string(a);
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_NATURALS_H_

@@ -1,0 +1,71 @@
+// Powerset POPS P(S) (Sec. 2.5.1 "Representing Incomplete Values"): all
+// subsets of the base pre-semiring, ordered by inclusion, with ⊕/⊗ lifted
+// elementwise (A ⊕ B = {a ⊕ b | a ∈ A, b ∈ B}). ⊥ = ∅ is undefined,
+// ⊤ = S is contradiction, intermediate sets are degrees of incompleteness.
+#ifndef DATALOGO_SEMIRING_POWERSET_H_
+#define DATALOGO_SEMIRING_POWERSET_H_
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// P(S) for a base pre-semiring whose Value is totally ordered (needed for
+/// the std::set representation). Operations are elementwise images.
+template <PreSemiring S>
+  requires std::totally_ordered<typename S::Value>
+struct Powerset {
+  using Value = std::set<typename S::Value>;
+  static constexpr const char* kName = "Powerset";
+  static constexpr bool kIsSemiring = false;  // A ⊗ ∅ = ∅, not 0
+  static constexpr bool kNaturallyOrdered = false;
+  static constexpr bool kIdempotentPlus = false;
+
+  static Value Zero() { return {S::Zero()}; }
+  static Value One() { return {S::One()}; }
+  static Value Bottom() { return {}; }
+
+  static Value Plus(const Value& a, const Value& b) {
+    Value out;
+    for (const auto& x : a) {
+      for (const auto& y : b) out.insert(S::Plus(x, y));
+    }
+    return out;
+  }
+
+  static Value Times(const Value& a, const Value& b) {
+    Value out;
+    for (const auto& x : a) {
+      for (const auto& y : b) out.insert(S::Times(x, y));
+    }
+    return out;
+  }
+
+  static bool Eq(const Value& a, const Value& b) { return a == b; }
+
+  /// Set inclusion.
+  static bool Leq(const Value& a, const Value& b) {
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+  }
+
+  static std::string ToString(const Value& a) {
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto& x : a) {
+      if (!first) os << ",";
+      first = false;
+      os << S::ToString(x);
+    }
+    os << "}";
+    return os.str();
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_POWERSET_H_

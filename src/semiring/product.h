@@ -1,0 +1,49 @@
+// Cartesian product of two POPS (Example 2.11): operations and order are
+// componentwise, ⊥ = (⊥₁, ⊥₂). Used to exhibit a non-trivial core
+// semiring: for S a naturally ordered semiring and P strict-addition POPS,
+// (S × P)+⊥ ≅ S × {⊥}.
+#ifndef DATALOGO_SEMIRING_PRODUCT_H_
+#define DATALOGO_SEMIRING_PRODUCT_H_
+
+#include <string>
+#include <utility>
+
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// P1 × P2 with componentwise structure.
+template <Pops P1, Pops P2>
+struct ProductPops {
+  using Value = std::pair<typename P1::Value, typename P2::Value>;
+  static constexpr const char* kName = "Product";
+  static constexpr bool kIsSemiring = P1::kIsSemiring && P2::kIsSemiring;
+  static constexpr bool kNaturallyOrdered =
+      P1::kNaturallyOrdered && P2::kNaturallyOrdered;
+  static constexpr bool kIdempotentPlus =
+      P1::kIdempotentPlus && P2::kIdempotentPlus;
+
+  static Value Zero() { return {P1::Zero(), P2::Zero()}; }
+  static Value One() { return {P1::One(), P2::One()}; }
+  static Value Bottom() { return {P1::Bottom(), P2::Bottom()}; }
+
+  static Value Plus(const Value& a, const Value& b) {
+    return {P1::Plus(a.first, b.first), P2::Plus(a.second, b.second)};
+  }
+  static Value Times(const Value& a, const Value& b) {
+    return {P1::Times(a.first, b.first), P2::Times(a.second, b.second)};
+  }
+  static bool Eq(const Value& a, const Value& b) {
+    return P1::Eq(a.first, b.first) && P2::Eq(a.second, b.second);
+  }
+  static bool Leq(const Value& a, const Value& b) {
+    return P1::Leq(a.first, b.first) && P2::Leq(a.second, b.second);
+  }
+  static std::string ToString(const Value& a) {
+    return "(" + P1::ToString(a.first) + "," + P2::ToString(a.second) + ")";
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_PRODUCT_H_

@@ -1,0 +1,202 @@
+// Provenance semirings: the free commutative semiring N[X] of provenance
+// polynomials (Green et al., used by the paper for groundings, Sec. 2.4)
+// and the absorptive PosBool(X) semiring (Dannert et al., cited in
+// Sec. 5.1 as a 0-stable example).
+//
+// N[X] is naturally ordered but NOT stable — iterating f(x) = b + a·x²
+// over N[a,b] never converges, yet its coefficient prefix stabilizes to
+// the Catalan numbers (Example 5.5); tests/provenance_test.cc checks this.
+#ifndef DATALOGO_SEMIRING_PROVENANCE_H_
+#define DATALOGO_SEMIRING_PROVENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/semiring/naturals.h"
+
+namespace datalogo {
+
+/// A commutative monomial: variable name → exponent (absent = 0).
+using ProvMonomial = std::map<std::string, uint32_t>;
+
+/// N[X]: formal polynomials with (saturating) natural coefficients.
+struct ProvPolyS {
+  /// polynomial = monomial → coefficient; absent monomial = coefficient 0.
+  using Value = std::map<ProvMonomial, uint64_t>;
+  static constexpr const char* kName = "N[X]";
+  static constexpr bool kIsSemiring = true;
+  static constexpr bool kNaturallyOrdered = true;
+  static constexpr bool kIdempotentPlus = false;
+
+  static Value Zero() { return {}; }
+  static Value One() { return {{ProvMonomial{}, 1}}; }
+  static Value Bottom() { return Zero(); }
+
+  /// The polynomial consisting of the single variable `name`.
+  static Value Var(const std::string& name) {
+    return {{ProvMonomial{{name, 1}}, 1}};
+  }
+
+  static Value Plus(const Value& a, const Value& b) {
+    Value out = a;
+    for (const auto& [m, c] : b) {
+      uint64_t& slot = out[m];
+      slot = NatS::Plus(slot, c);
+    }
+    return out;
+  }
+
+  static Value Times(const Value& a, const Value& b) {
+    Value out;
+    for (const auto& [ma, ca] : a) {
+      for (const auto& [mb, cb] : b) {
+        ProvMonomial m = ma;
+        for (const auto& [v, e] : mb) m[v] += e;
+        uint64_t& slot = out[m];
+        slot = NatS::Plus(slot, NatS::Times(ca, cb));
+      }
+    }
+    return out;
+  }
+
+  static bool Eq(const Value& a, const Value& b) { return a == b; }
+
+  /// Natural order: coefficientwise ≤.
+  static bool Leq(const Value& a, const Value& b) {
+    for (const auto& [m, c] : a) {
+      auto it = b.find(m);
+      uint64_t cb = (it == b.end()) ? 0 : it->second;
+      if (c > cb) return false;
+    }
+    return true;
+  }
+
+  /// Coefficient of a monomial (0 if absent).
+  static uint64_t Coefficient(const Value& v, const ProvMonomial& m) {
+    auto it = v.find(m);
+    return it == v.end() ? 0 : it->second;
+  }
+
+  static std::string ToString(const Value& v) {
+    if (v.empty()) return "0";
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& [m, c] : v) {
+      if (!first) os << " + ";
+      first = false;
+      bool wrote = false;
+      if (c != 1 || m.empty()) {
+        os << NatS::ToString(c);
+        wrote = true;
+      }
+      for (const auto& [var, e] : m) {
+        if (wrote) os << "*";
+        os << var;
+        if (e > 1) os << "^" << e;
+        wrote = true;
+      }
+    }
+    return os.str();
+  }
+};
+
+/// PosBool(X): positive Boolean provenance as minimized DNF — an antichain
+/// of variable sets under ⊆. Absorptive (1 ⊕ a = 1), hence 0-stable, and a
+/// complete distributive dioid with a computable ⊖.
+struct PosBoolS {
+  using Clause = std::set<std::string>;
+  using Value = std::set<Clause>;  // antichain of clauses
+  static constexpr const char* kName = "PosBool[X]";
+  static constexpr bool kIsSemiring = true;
+  static constexpr bool kNaturallyOrdered = true;
+  static constexpr bool kIdempotentPlus = true;
+
+  static Value Zero() { return {}; }          // false
+  static Value One() { return {Clause{}}; }   // true (empty clause)
+  static Value Bottom() { return Zero(); }
+  static Value Var(const std::string& name) { return {Clause{name}}; }
+
+  /// Removes clauses that are supersets of another clause (absorption).
+  static Value Minimize(const Value& v) {
+    Value out;
+    for (const auto& c : v) {
+      bool absorbed = false;
+      for (const auto& d : v) {
+        if (d.size() < c.size() &&
+            std::includes(c.begin(), c.end(), d.begin(), d.end())) {
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) out.insert(c);
+    }
+    return out;
+  }
+
+  static Value Plus(const Value& a, const Value& b) {
+    Value u = a;
+    u.insert(b.begin(), b.end());
+    return Minimize(u);
+  }
+
+  static Value Times(const Value& a, const Value& b) {
+    Value u;
+    for (const auto& ca : a) {
+      for (const auto& cb : b) {
+        Clause c = ca;
+        c.insert(cb.begin(), cb.end());
+        u.insert(std::move(c));
+      }
+    }
+    return Minimize(u);
+  }
+
+  static bool Eq(const Value& a, const Value& b) { return a == b; }
+
+  /// Natural order of the dioid: a ⊑ b iff a ⊕ b = b.
+  static bool Leq(const Value& a, const Value& b) { return Eq(Plus(a, b), b); }
+
+  /// b ⊖ a (Eq. 58): the clauses of b not already absorbed by a.
+  static Value Minus(const Value& b, const Value& a) {
+    Value out;
+    for (const auto& c : b) {
+      bool absorbed = false;
+      for (const auto& d : a) {
+        if (std::includes(c.begin(), c.end(), d.begin(), d.end())) {
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) out.insert(c);
+    }
+    return out;
+  }
+
+  static std::string ToString(const Value& v) {
+    if (v.empty()) return "false";
+    std::ostringstream os;
+    bool firstClause = true;
+    for (const auto& c : v) {
+      if (!firstClause) os << " | ";
+      firstClause = false;
+      if (c.empty()) {
+        os << "true";
+        continue;
+      }
+      bool firstVar = true;
+      for (const auto& x : c) {
+        if (!firstVar) os << "&";
+        firstVar = false;
+        os << x;
+      }
+    }
+    return os.str();
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_PROVENANCE_H_

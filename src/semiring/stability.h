@@ -1,0 +1,64 @@
+// Stability of semiring elements (Definition 5.1): u is p-stable when
+// u^(p) = u^(p+1), where u^(p) = 1 ⊕ u ⊕ u² ⊕ … ⊕ u^p. A semiring is
+// p-stable (uniformly stable) when every element is, and stable when every
+// element is p-stable for some element-dependent p. Stability of the core
+// semiring P+⊥ characterizes convergence of datalog° (Theorem 1.2).
+#ifndef DATALOGO_SEMIRING_STABILITY_H_
+#define DATALOGO_SEMIRING_STABILITY_H_
+
+#include <optional>
+
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// u^(p) = 1 ⊕ u ⊕ … ⊕ u^p (Eq. 30).
+template <PreSemiring S>
+typename S::Value StarTruncated(const typename S::Value& u, int p) {
+  typename S::Value sum = S::One();
+  typename S::Value pow = S::One();
+  for (int i = 1; i <= p; ++i) {
+    pow = S::Times(pow, u);
+    sum = S::Plus(sum, pow);
+  }
+  return sum;
+}
+
+/// Least p ≤ max_p with u^(p) = u^(p+1), or nullopt if none (element not
+/// observed to be stable within the budget).
+template <PreSemiring S>
+std::optional<int> ElementStabilityIndex(const typename S::Value& u,
+                                         int max_p) {
+  typename S::Value sum = S::One();  // u^(0)
+  typename S::Value pow = S::One();
+  for (int p = 0; p <= max_p; ++p) {
+    typename S::Value next_pow = S::Times(pow, u);
+    typename S::Value next_sum = S::Plus(sum, next_pow);  // u^(p+1)
+    if (S::Eq(sum, next_sum)) return p;
+    sum = next_sum;
+    pow = next_pow;
+  }
+  return std::nullopt;
+}
+
+/// u* for a p-stable element: u^(p) (the closure used by
+/// Floyd–Warshall–Kleene and LinearLFP, Sec. 5.5). CHECK-fails via the
+/// caller if u is not actually stable within max_p; returns u^(max_p).
+template <PreSemiring S>
+typename S::Value StarOfStable(const typename S::Value& u, int p) {
+  return StarTruncated<S>(u, p);
+}
+
+/// True if every value in [first,last) is p-stable for the given p.
+template <PreSemiring S, typename It>
+bool AllPStable(It first, It last, int p) {
+  for (It it = first; it != last; ++it) {
+    auto idx = ElementStabilityIndex<S>(*it, p);
+    if (!idx.has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_STABILITY_H_

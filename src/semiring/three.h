@@ -1,0 +1,72 @@
+// The POPS THREE (Sec. 2.5.2): Kleene's three-valued logic {⊥, 0, 1} with
+// ∨/∧ taken over the *truth* order 0 ≤t ⊥ ≤t 1, partially ordered by the
+// *knowledge* order ⊥ ≤k 0, ⊥ ≤k 1. THREE is a semiring (∧ absorbs with 0,
+// including 0 ∧ ⊥ = 0 — unlike the lifted Booleans B⊥). Together with the
+// monotone-in-≤k `Not` function it expresses datalog with negation under
+// Fitting's three-valued semantics (Section 7).
+#ifndef DATALOGO_SEMIRING_THREE_H_
+#define DATALOGO_SEMIRING_THREE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace datalogo {
+
+/// Truth values of THREE; numeric order is the truth order 0 ≤t ⊥ ≤t 1.
+enum class Kleene : uint8_t { kFalse = 0, kBot = 1, kTrue = 2 };
+
+/// THREE = ({⊥,0,1}, ∨, ∧, 0, 1, ≤k).
+struct ThreeS {
+  using Value = Kleene;
+  static constexpr const char* kName = "THREE";
+  static constexpr bool kIsSemiring = true;  // 0 ∧ x = 0 for all x incl. ⊥
+  // ∨ is idempotent, but THREE's POPS order is the knowledge order, not the
+  // natural order of ∨, so semi-naive machinery must not be applied.
+  static constexpr bool kNaturallyOrdered = false;
+  static constexpr bool kIdempotentPlus = true;
+
+  static Value Zero() { return Kleene::kFalse; }
+  static Value One() { return Kleene::kTrue; }
+  static Value Bottom() { return Kleene::kBot; }
+
+  /// ∨ = max over the truth order.
+  static Value Plus(Value a, Value b) { return a >= b ? a : b; }
+  /// ∧ = min over the truth order.
+  static Value Times(Value a, Value b) { return a <= b ? a : b; }
+
+  static bool Eq(Value a, Value b) { return a == b; }
+
+  /// Knowledge order: ⊥ ≤k 0, ⊥ ≤k 1; 0 and 1 incomparable.
+  static bool Leq(Value a, Value b) {
+    return a == Kleene::kBot || a == b;
+  }
+
+  /// Fitting's negation: not(0)=1, not(1)=0, not(⊥)=⊥ — monotone in ≤k.
+  static Value Not(Value a) {
+    switch (a) {
+      case Kleene::kFalse:
+        return Kleene::kTrue;
+      case Kleene::kTrue:
+        return Kleene::kFalse;
+      case Kleene::kBot:
+        return Kleene::kBot;
+    }
+    return Kleene::kBot;
+  }
+
+  static std::string ToString(Value a) {
+    switch (a) {
+      case Kleene::kFalse:
+        return "0";
+      case Kleene::kTrue:
+        return "1";
+      case Kleene::kBot:
+        return "bot";
+    }
+    return "?";
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_THREE_H_

@@ -1,0 +1,107 @@
+// Trop+_{≤η} (Example 2.10): *sets* of path lengths within η of the
+// minimum. Stable but NOT uniformly stable (Proposition 5.4): the element
+// {x₀} has stability index ⌈η/x₀⌉, unbounded as x₀ → 0.
+//
+// η is a runtime parameter shared by all values of the instantiation; use
+// TropEtaS::ScopedEta in tests to set it for a scope.
+#ifndef DATALOGO_SEMIRING_TROP_ETA_H_
+#define DATALOGO_SEMIRING_TROP_ETA_H_
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/check.h"
+
+namespace datalogo {
+
+/// Trop+_{≤η} = (P_{≤η}(R+ ∪ {∞}), ⊕_{≤η}, ⊗_{≤η}, {∞}, {0}).
+/// Values are sorted, duplicate-free vectors with max ≤ min + η.
+struct TropEtaS {
+  using Value = std::vector<double>;
+  static constexpr const char* kName = "Trop+_eta";
+  static constexpr bool kIsSemiring = true;
+  static constexpr bool kNaturallyOrdered = true;
+  static constexpr bool kIdempotentPlus = true;  // sets: a ∪ a = a
+
+  /// The shared slack parameter η ≥ 0.
+  static inline double eta = 0.0;
+
+  /// RAII helper: sets η for the current scope, restoring it on exit.
+  class ScopedEta {
+   public:
+    explicit ScopedEta(double e) : saved_(eta) { eta = e; }
+    ~ScopedEta() { eta = saved_; }
+    ScopedEta(const ScopedEta&) = delete;
+    ScopedEta& operator=(const ScopedEta&) = delete;
+
+   private:
+    double saved_;
+  };
+
+  static double Inf() { return std::numeric_limits<double>::infinity(); }
+  static Value Zero() { return {Inf()}; }
+  static Value One() { return {0.0}; }
+  static Value Bottom() { return Zero(); }
+  static Value FromScalar(double x) { return {x}; }
+
+  /// min_{≤η}: sort, dedupe, and keep only elements ≤ min + η.
+  static Value Normalize(Value v) {
+    DLO_CHECK(!v.empty());
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    const double cutoff = v.front() + eta;
+    while (v.size() > 1 && v.back() > cutoff) v.pop_back();
+    return v;
+  }
+
+  static Value Plus(const Value& a, const Value& b) {
+    Value u = a;
+    u.insert(u.end(), b.begin(), b.end());
+    return Normalize(std::move(u));
+  }
+
+  static Value Times(const Value& a, const Value& b) {
+    Value u;
+    u.reserve(a.size() * b.size());
+    for (double x : a) {
+      for (double y : b) u.push_back(x + y);
+    }
+    return Normalize(std::move(u));
+  }
+
+  static bool Eq(const Value& a, const Value& b) { return a == b; }
+
+  /// Natural order: a ⪯ b iff b = min_{≤η}(a ∪ c) for some c, i.e.
+  /// min(b) ≤ min(a) and every element of a within η of min(b) is in b.
+  static bool Leq(const Value& a, const Value& b) {
+    if (!(b.front() <= a.front())) return false;
+    const double cutoff = b.front() + eta;
+    for (double x : a) {
+      if (x > cutoff) break;  // a is sorted
+      if (!std::binary_search(b.begin(), b.end(), x)) return false;
+    }
+    return true;
+  }
+
+  static std::string ToString(const Value& a) {
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i) os << ",";
+      if (a[i] == Inf()) {
+        os << "inf";
+      } else {
+        os << a[i];
+      }
+    }
+    os << "}";
+    return os.str();
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_TROP_ETA_H_

@@ -1,0 +1,131 @@
+// Trop+_p (Example 2.9): bags of the p+1 smallest path lengths, computing
+// the top p+1 shortest paths. The carrier is B_{p+1}(R+ ∪ {∞}) — bags of
+// exactly p+1 elements, represented as a sorted ascending std::array.
+// Trop+_p is a naturally ordered semiring and is exactly p-stable
+// (Proposition 5.3; the bound is tight on the unit element 1_p).
+#ifndef DATALOGO_SEMIRING_TROP_P_H_
+#define DATALOGO_SEMIRING_TROP_P_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace datalogo {
+
+/// Trop+_p with compile-time p ≥ 0; values are sorted bags of p+1 lengths.
+template <int kP>
+struct TropPS {
+  static_assert(kP >= 0, "p must be non-negative");
+  static constexpr int kBagSize = kP + 1;
+  using Value = std::array<double, kBagSize>;
+  static constexpr const char* kName = "Trop+_p";
+  static constexpr bool kIsSemiring = true;
+  static constexpr bool kNaturallyOrdered = true;
+  // a ⊕ a duplicates finite entries (bags, not sets), so ⊕ is idempotent
+  // only for p = 0 where Trop+_0 = Trop+.
+  static constexpr bool kIdempotentPlus = (kP == 0);
+
+  static double Inf() { return std::numeric_limits<double>::infinity(); }
+
+  /// 0_p = {{∞, …, ∞}}.
+  static Value Zero() {
+    Value v;
+    v.fill(Inf());
+    return v;
+  }
+
+  /// 1_p = {{0, ∞, …, ∞}}.
+  static Value One() {
+    Value v = Zero();
+    v[0] = 0.0;
+    return v;
+  }
+
+  static Value Bottom() { return Zero(); }
+
+  /// Lifts a single length into a bag {{x, ∞, …, ∞}}.
+  static Value FromScalar(double x) {
+    Value v = Zero();
+    v[0] = x;
+    return v;
+  }
+
+  /// ⊕_p = min_p over the bag union: merge two sorted bags, keep p+1.
+  /// At the start of step k we have i + j = k < kBagSize, so both indexes
+  /// stay in range throughout.
+  static Value Plus(const Value& a, const Value& b) {
+    Value out;
+    std::size_t i = 0, j = 0;
+    for (std::size_t k = 0; k < kBagSize; ++k) {
+      if (a[i] <= b[j]) {
+        out[k] = a[i++];
+      } else {
+        out[k] = b[j++];
+      }
+    }
+    return out;
+  }
+
+  /// ⊗_p = min_p over pairwise sums of the two bags.
+  static Value Times(const Value& a, const Value& b) {
+    std::array<double, kBagSize * kBagSize> sums;
+    std::size_t n = 0;
+    for (int i = 0; i < kBagSize; ++i) {
+      for (int j = 0; j < kBagSize; ++j) {
+        sums[n++] = a[i] + b[j];
+      }
+    }
+    std::partial_sort(sums.begin(), sums.begin() + kBagSize, sums.end());
+    Value out;
+    std::copy(sums.begin(), sums.begin() + kBagSize, out.begin());
+    return out;
+  }
+
+  static bool Eq(const Value& a, const Value& b) {
+    for (int i = 0; i < kBagSize; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+  /// Natural order: a ⪯ b iff ∃c with min_p(a ⊎ c) = b. Adding elements
+  /// can push large entries of a out of the bag but can never delete an
+  /// entry smaller than the resulting maximum, so the exact condition is:
+  /// every value v < max(b) occurs in b at least as often as in a.
+  static bool Leq(const Value& a, const Value& b) {
+    const double t = b[kBagSize - 1];
+    for (int i = 0; i < kBagSize; ++i) {
+      const double v = a[i];
+      if (!(v < t)) continue;
+      int in_a = 0, in_b = 0;
+      for (int k = 0; k < kBagSize; ++k) {
+        if (a[k] == v) ++in_a;
+        if (b[k] == v) ++in_b;
+      }
+      if (in_a > in_b) return false;
+    }
+    return true;
+  }
+
+  static std::string ToString(const Value& a) {
+    std::ostringstream os;
+    os << "{{";
+    for (int i = 0; i < kBagSize; ++i) {
+      if (i) os << ",";
+      if (a[i] == Inf()) {
+        os << "inf";
+      } else {
+        os << a[i];
+      }
+    }
+    os << "}}";
+    return os.str();
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_TROP_P_H_

@@ -1,0 +1,96 @@
+#include "src/wf/wellfounded.h"
+
+#include "src/core/check.h"
+
+namespace datalogo {
+namespace {
+
+/// Least fixpoint of the positive program obtained by freezing negative
+/// literals against `frozen`.
+std::vector<bool> InnerLfp(const NegProgram& prog,
+                           const std::vector<bool>& frozen) {
+  std::vector<bool> j(prog.num_atoms, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GroundRuleNeg& r : prog.rules) {
+      if (j[r.head]) continue;
+      bool fires = true;
+      for (int a : r.pos_body) {
+        if (!j[a]) {
+          fires = false;
+          break;
+        }
+      }
+      if (fires) {
+        for (int a : r.neg_body) {
+          if (frozen[a]) {
+            fires = false;
+            break;
+          }
+        }
+      }
+      if (fires) {
+        j[r.head] = true;
+        changed = true;
+      }
+    }
+  }
+  return j;
+}
+
+}  // namespace
+
+WellFoundedModel AlternatingFixpoint(const NegProgram& prog) {
+  WellFoundedModel out;
+  std::vector<bool> j(prog.num_atoms, false);
+  out.trace.push_back(j);
+  // The even subsequence increases, the odd one decreases; both are
+  // monotone, so each converges within num_atoms+1 rounds. Iterate until
+  // J(t) = J(t-2) for two consecutive t.
+  int stable_pairs = 0;
+  while (stable_pairs < 2) {
+    std::vector<bool> next = InnerLfp(prog, j);
+    out.trace.push_back(next);
+    std::size_t n = out.trace.size();
+    if (n >= 3 && out.trace[n - 1] == out.trace[n - 3]) {
+      ++stable_pairs;
+    } else {
+      stable_pairs = 0;
+    }
+    j = std::move(next);
+    DLO_CHECK_MSG(out.trace.size() <
+                      static_cast<std::size_t>(4 * prog.num_atoms + 16),
+                  "alternating fixpoint failed to converge");
+  }
+  // The last two trace entries are G (odd limit) and L (even limit), in
+  // some order depending on parity.
+  std::size_t n = out.trace.size();
+  const std::vector<bool>& last = out.trace[n - 1];
+  const std::vector<bool>& prev = out.trace[n - 2];
+  // Even-indexed entries underestimate (L), odd-indexed overestimate (G).
+  const std::vector<bool>& l = (n - 1) % 2 == 0 ? last : prev;
+  const std::vector<bool>& g = (n - 1) % 2 == 1 ? last : prev;
+  out.values.resize(prog.num_atoms);
+  for (int a = 0; a < prog.num_atoms; ++a) {
+    if (l[a]) {
+      out.values[a] = Kleene::kTrue;
+    } else if (!g[a]) {
+      out.values[a] = Kleene::kFalse;
+    } else {
+      out.values[a] = Kleene::kBot;
+    }
+  }
+  return out;
+}
+
+NegProgram WinMoveProgram(const Graph& g) {
+  NegProgram prog;
+  prog.num_atoms = g.num_vertices();
+  for (const Edge& e : g.edges()) {
+    prog.rules.push_back(GroundRuleNeg{e.src, {}, {e.dst}});
+  }
+  return prog;
+}
+
+}  // namespace datalogo

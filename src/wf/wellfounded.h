@@ -1,0 +1,48 @@
+// The well-founded model via van Gelder's alternating fixpoint (Sec. 7.1):
+// the baseline against which datalog° over THREE is compared. Operates on
+// grounded datalog-with-negation programs.
+#ifndef DATALOGO_WF_WELLFOUNDED_H_
+#define DATALOGO_WF_WELLFOUNDED_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/semiring/three.h"
+
+namespace datalogo {
+
+/// A grounded rule head :- pos₁ ∧ … ∧ pos_k ∧ ¬neg₁ ∧ … ∧ ¬neg_m over
+/// ground-atom ids 0..num_atoms-1.
+struct GroundRuleNeg {
+  int head = 0;
+  std::vector<int> pos_body;
+  std::vector<int> neg_body;
+};
+
+/// A grounded datalog¬ program.
+struct NegProgram {
+  int num_atoms = 0;
+  std::vector<GroundRuleNeg> rules;
+};
+
+/// Result of the alternating fixpoint computation.
+struct WellFoundedModel {
+  /// Three-valued truth value per atom (1 in L; 0 outside G; else ⊥).
+  std::vector<Kleene> values;
+  /// The alternating sequence J(0), J(1), … until both chains converge
+  /// (the Sec. 7.1 table).
+  std::vector<std::vector<bool>> trace;
+};
+
+/// Computes the well-founded model: J(t+1) = lfp of the program with the
+/// negative literals frozen against J(t); even steps increase to L, odd
+/// steps decrease to G.
+WellFoundedModel AlternatingFixpoint(const NegProgram& prog);
+
+/// The win-move game (Eq. 67) grounded over a graph: atom v = Win(v),
+/// one rule Win(x) :- ¬Win(y) per edge (x, y).
+NegProgram WinMoveProgram(const Graph& g);
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_WF_WELLFOUNDED_H_

@@ -1,0 +1,155 @@
+// Theorem 1.2 end-to-end: measured convergence steps of full datalog°
+// programs (grounded) never exceed the theoretical bounds, across POPS
+// and workloads; and the 0-stable N-step bound holds for the engines.
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+constexpr const char* kApsp = R"(
+  edb E/2.
+  idb T/2.
+  T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).
+)";
+
+constexpr const char* kSssp = R"(
+  edb E/2.
+  idb L/1.
+  L(X) :- [X = v0] ; L(Z) * E(Z, X).
+)";
+
+template <Pops P, typename F>
+void CheckBound(const char* text, const Graph& g, F&& lift, int p,
+                bool linear_expected) {
+  Domain dom;
+  auto prog = ParseProgram(text, &dom);
+  ASSERT_TRUE(prog.ok());
+  std::vector<ConstId> ids = InternVertices(g.num_vertices(), &dom);
+  EdbInstance<P> edb(prog.value());
+  LoadEdges<P>(g, ids, lift, &edb.pops(prog.value().FindPredicate("E")));
+  auto grounded = GroundProgram<P>(prog.value(), edb);
+  ASSERT_EQ(grounded.system().IsLinear(), linear_expected);
+  uint64_t bound = grounded.system().ConvergenceBound(p);
+  auto iter = grounded.NaiveIterate(1 << 22);
+  ASSERT_TRUE(iter.converged);
+  EXPECT_LE(static_cast<uint64_t>(iter.steps), bound);
+  // 0-stable case: the much stronger N-step bound (Theorem 5.12(2)).
+  if (p == 0) {
+    EXPECT_LE(iter.steps, grounded.system().num_vars());
+  }
+}
+
+TEST(ConvergenceBounds, TropApspWithinNSteps) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = RandomGraph(6, 15, seed);
+    CheckBound<TropS>(kApsp, g, [](const Edge& e) { return e.weight; }, 0,
+                      true);
+  }
+}
+
+TEST(ConvergenceBounds, TropSsspWithinNSteps) {
+  Graph g = CycleGraph(7);
+  CheckBound<TropS>(kSssp, g, [](const Edge& e) { return e.weight; }, 0,
+                    true);
+}
+
+TEST(ConvergenceBounds, TropPSsspWithinLinearBound) {
+  using T1 = TropPS<1>;
+  Graph g = CycleGraph(4);
+  CheckBound<T1>(kSssp, g,
+                 [](const Edge& e) { return T1::FromScalar(e.weight); }, 1,
+                 true);
+  using T2 = TropPS<2>;
+  CheckBound<T2>(kSssp, CycleGraph(3),
+                 [](const Edge& e) { return T2::FromScalar(e.weight); }, 2,
+                 true);
+}
+
+TEST(ConvergenceBounds, QuadraticTcWithinGeneralBound) {
+  constexpr const char* kQuad = R"(
+    edb E/2.
+    idb T/2.
+    T(X,Y) :- E(X,Y) ; T(X,Z) * T(Z,Y).
+  )";
+  Graph g = RandomGraph(4, 8, /*seed=*/5);
+  CheckBound<TropS>(kQuad, g, [](const Edge& e) { return e.weight; }, 0,
+                    false);
+}
+
+TEST(ConvergenceBounds, LinearTropPMatrixBoundCorollary521) {
+  // Corollary 5.21: a linear program over Trop+_p converges within
+  // (p+1)N − 1 matrix-stability steps; the naive algorithm on the
+  // grounded system takes at most one more application.
+  using T1 = TropPS<1>;
+  for (int n : {3, 4, 5}) {
+    Graph g = CycleGraph(n);
+    Domain dom;
+    auto prog = ParseProgram(kSssp, &dom);
+    ASSERT_TRUE(prog.ok());
+    std::vector<ConstId> ids = InternVertices(n, &dom);
+    EdbInstance<T1> edb(prog.value());
+    LoadEdges<T1>(g, ids,
+                  [](const Edge& e) { return T1::FromScalar(e.weight); },
+                  &edb.pops(prog.value().FindPredicate("E")));
+    auto grounded = GroundProgram<T1>(prog.value(), edb);
+    auto iter = grounded.NaiveIterate(1 << 16);
+    ASSERT_TRUE(iter.converged);
+    int big_n = grounded.system().num_vars();
+    EXPECT_LE(iter.steps, 2 * big_n) << n;  // (p+1)N with p = 1
+  }
+}
+
+TEST(ConvergenceBounds, StableButNotUniformTropEta) {
+  // Over Trop+_{≤η} every program converges (Theorem 5.10 via stability),
+  // but the number of steps depends on the VALUES (η vs edge weights),
+  // not just the atom count.
+  TropEtaS::ScopedEta eta(10.0);
+  Graph g = CycleGraph(3);  // cycle length 3 with unit weights
+  Domain dom;
+  auto prog = ParseProgram(kSssp, &dom);
+  ASSERT_TRUE(prog.ok());
+  std::vector<ConstId> ids = InternVertices(3, &dom);
+  EdbInstance<TropEtaS> edb(prog.value());
+  LoadEdges<TropEtaS>(
+      g, ids, [](const Edge& e) { return TropEtaS::FromScalar(e.weight); },
+      &edb.pops(prog.value().FindPredicate("E")));
+  auto grounded = GroundProgram<TropEtaS>(prog.value(), edb);
+  auto iter = grounded.NaiveIterate(1000);
+  ASSERT_TRUE(iter.converged);
+  // Distances to v0: {0, 3, 6, 9} (walks around the cycle ≤ η = 10).
+  int v0 = grounded.VarOf(prog.value().FindPredicate("L"), {ids[0]});
+  EXPECT_EQ(iter.values[v0], (TropEtaS::Value{0, 3, 6, 9}));
+  // More steps than the atom count: value-dependent convergence.
+  EXPECT_GT(iter.steps, 3);
+}
+
+TEST(ConvergenceBounds, MaxPlusDivergesOnCyclicGraphs) {
+  // Longest path over max-plus diverges on a cycle — MaxPlus is a dioid
+  // but NOT stable, showing ACC/idempotence alone is not enough.
+  Domain dom;
+  auto prog = ParseProgram(kApsp, &dom);
+  ASSERT_TRUE(prog.ok());
+  Graph g = CycleGraph(3);
+  std::vector<ConstId> ids = InternVertices(3, &dom);
+  EdbInstance<MaxPlusS> edb(prog.value());
+  LoadEdges<MaxPlusS>(g, ids, [](const Edge& e) { return e.weight; },
+                      &edb.pops(prog.value().FindPredicate("E")));
+  Engine<MaxPlusS> engine(prog.value(), edb);
+  EXPECT_FALSE(engine.Naive(200).converged);
+  // ... but converges on a DAG.
+  Graph dag = LayeredDag(3, 2, 0.8, 1);
+  Domain dom2;
+  auto prog2 = ParseProgram(kApsp, &dom2);
+  ASSERT_TRUE(prog2.ok());
+  std::vector<ConstId> ids2 = InternVertices(dag.num_vertices(), &dom2);
+  EdbInstance<MaxPlusS> edb2(prog2.value());
+  LoadEdges<MaxPlusS>(dag, ids2, [](const Edge& e) { return e.weight; },
+                      &edb2.pops(prog2.value().FindPredicate("E")));
+  Engine<MaxPlusS> engine2(prog2.value(), edb2);
+  EXPECT_TRUE(engine2.Naive(200).converged);
+}
+
+}  // namespace
+}  // namespace datalogo

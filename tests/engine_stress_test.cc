@@ -1,0 +1,227 @@
+// Stress and cross-engine agreement sweeps beyond the core suites:
+// more semirings, mutual recursion, conditions in recursion, divergence
+// budgets, and degenerate instances.
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+constexpr const char* kTc = R"(
+  edb E/2.
+  idb T/2.
+  T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).
+)";
+
+template <NaturallyOrderedSemiring P, typename F>
+void ExpectEnginesAgree(const Graph& g, F&& lift, uint64_t seed) {
+  Domain dom;
+  auto prog = ParseProgram(kTc, &dom);
+  ASSERT_TRUE(prog.ok());
+  std::vector<ConstId> ids = InternVertices(g.num_vertices(), &dom);
+  EdbInstance<P> edb(prog.value());
+  LoadEdges<P>(g, ids, lift, &edb.pops(prog.value().FindPredicate("E")));
+  Engine<P> engine(prog.value(), edb);
+  auto support = engine.Naive(100000);
+  ASSERT_TRUE(support.converged) << P::kName << " seed " << seed;
+  auto grounded = GroundProgram<P>(prog.value(), edb);
+  auto poly = grounded.NaiveIterate(100000);
+  ASSERT_TRUE(poly.converged) << P::kName << " seed " << seed;
+  EXPECT_TRUE(grounded.Decode(poly.values).Equals(support.idb))
+      << P::kName << " seed " << seed;
+}
+
+TEST(EngineStress, CrossEngineAgreementAcrossSemirings) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = RandomGraph(6, 14, seed * 3 + 1);
+    ExpectEnginesAgree<TropNatS>(
+        g, [](const Edge& e) { return static_cast<uint64_t>(e.weight); },
+        seed);
+    ExpectEnginesAgree<FuzzyS>(
+        g, [](const Edge& e) { return 1.0 / (1.0 + e.weight); }, seed);
+    ExpectEnginesAgree<ViterbiS>(
+        g, [](const Edge& e) { return 1.0 / (1.0 + e.weight); }, seed);
+    // N on a DAG only (cycles diverge by design).
+    Graph dag = LayeredDag(3, 2, 0.8, seed);
+    ExpectEnginesAgree<NatS>(
+        dag, [](const Edge&) { return static_cast<uint64_t>(1); }, seed);
+  }
+}
+
+TEST(EngineStress, MutualRecursionEvenOddPaths) {
+  // Even(X,Y): path of even length; Odd(X,Y): odd length.
+  constexpr const char* kText = R"(
+    edb E/2.
+    idb Odd/2.
+    idb Even/2.
+    Odd(X,Y) :- E(X,Y) ; Even(X,Z) * E(Z,Y).
+    Even(X,Y) :- Odd(X,Z) * E(Z,Y).
+  )";
+  Domain dom;
+  auto prog = ParseProgram(kText, &dom);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_TRUE(ValidateProgram(prog.value()).ok());
+  Graph g = CycleGraph(5);  // odd cycle: eventually all pairs both ways
+  std::vector<ConstId> ids = InternVertices(5, &dom);
+  EdbInstance<BoolS> edb(prog.value());
+  LoadEdges<BoolS>(g, ids, [](const Edge&) { return true; },
+                   &edb.pops(prog.value().FindPredicate("E")));
+  Engine<BoolS> engine(prog.value(), edb);
+  auto naive = engine.Naive(1000);
+  auto semi = engine.SemiNaive(1000);
+  ASSERT_TRUE(naive.converged && semi.converged);
+  EXPECT_TRUE(naive.idb.Equals(semi.idb));
+  // On an odd cycle, every ordered pair is reachable by both parities.
+  int even = prog.value().FindPredicate("Even");
+  int odd = prog.value().FindPredicate("Odd");
+  EXPECT_EQ(naive.idb.idb(even).support_size(), 25u);
+  EXPECT_EQ(naive.idb.idb(odd).support_size(), 25u);
+}
+
+TEST(EngineStress, ConditionsInsideRecursion) {
+  // Shortest paths avoiding "blocked" vertices.
+  constexpr const char* kText = R"(
+    edb E/2.
+    bedb Blocked/1.
+    idb L/1.
+    L(X) :- [X = v0] ; { L(Z) * E(Z, X) | !Blocked(X) }.
+  )";
+  Domain dom;
+  auto prog = ParseProgram(kText, &dom);
+  ASSERT_TRUE(prog.ok());
+  ASSERT_TRUE(ValidateProgram(prog.value()).ok());
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(0, 3, 5.0);
+  g.AddEdge(3, 2, 1.0);
+  std::vector<ConstId> ids = InternVertices(4, &dom);
+  EdbInstance<TropS> edb(prog.value());
+  LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                   &edb.pops(prog.value().FindPredicate("E")));
+  edb.boolean(prog.value().FindPredicate("Blocked")).Set({ids[1]}, true);
+  Engine<TropS> engine(prog.value(), edb);
+  auto r = engine.Naive(100);
+  ASSERT_TRUE(r.converged);
+  int l = prog.value().FindPredicate("L");
+  EXPECT_EQ(r.idb.idb(l).Get({ids[1]}), TropS::Inf());  // blocked
+  EXPECT_EQ(r.idb.idb(l).Get({ids[2]}), 6.0);           // detour via 3
+}
+
+TEST(EngineStress, DivergenceBudgetIsRespected) {
+  Domain dom;
+  auto prog = ParseProgram(kTc, &dom);
+  ASSERT_TRUE(prog.ok());
+  Graph g = CycleGraph(3);
+  std::vector<ConstId> ids = InternVertices(3, &dom);
+  EdbInstance<NatS> edb(prog.value());
+  LoadEdges<NatS>(g, ids, [](const Edge&) { return uint64_t{2}; },
+                  &edb.pops(prog.value().FindPredicate("E")));
+  Engine<NatS> engine(prog.value(), edb);
+  auto r = engine.Naive(17);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.steps, 17);
+}
+
+TEST(EngineStress, SelfLoopsAndParallelEdges) {
+  Domain dom;
+  auto prog = ParseProgram(kTc, &dom);
+  ASSERT_TRUE(prog.ok());
+  Graph g(2);
+  g.AddEdge(0, 0, 3.0);
+  g.AddEdge(0, 1, 7.0);
+  g.AddEdge(0, 1, 2.0);  // parallel, cheaper
+  std::vector<ConstId> ids = InternVertices(2, &dom);
+  EdbInstance<TropS> edb(prog.value());
+  LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                   &edb.pops(prog.value().FindPredicate("E")));
+  Engine<TropS> engine(prog.value(), edb);
+  auto r = engine.Naive(100);
+  ASSERT_TRUE(r.converged);
+  int t = prog.value().FindPredicate("T");
+  EXPECT_EQ(r.idb.idb(t).Get({ids[0], ids[0]}), 3.0);
+  EXPECT_EQ(r.idb.idb(t).Get({ids[0], ids[1]}), 2.0);  // min of parallels
+}
+
+TEST(EngineStress, LargerRandomSweepSemiNaiveEqualsNaive) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Domain dom;
+    auto prog = ParseProgram(kTc, &dom);
+    ASSERT_TRUE(prog.ok());
+    Graph g = RandomGraph(40, 160, seed + 500);
+    std::vector<ConstId> ids = InternVertices(40, &dom);
+    EdbInstance<TropS> edb(prog.value());
+    LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                     &edb.pops(prog.value().FindPredicate("E")));
+    Engine<TropS> engine(prog.value(), edb);
+    auto naive = engine.Naive(100000);
+    auto semi = engine.SemiNaive(100000);
+    auto nodiff = engine.SemiNaiveNonDifferential(100000);
+    ASSERT_TRUE(naive.converged && semi.converged && nodiff.converged);
+    EXPECT_TRUE(naive.idb.Equals(semi.idb)) << seed;
+    EXPECT_TRUE(naive.idb.Equals(nodiff.idb)) << seed;
+  }
+}
+
+TEST(EngineStress, TropPTopKPathsMatchEnumeration) {
+  // Over Trop+_2 the APSP fixpoint holds the 3 cheapest WALK lengths;
+  // verify against brute-force walk enumeration on a small graph.
+  using T = TropPS<2>;
+  Domain dom;
+  auto prog = ParseProgram(kTc, &dom);
+  ASSERT_TRUE(prog.ok());
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 0, 4.0);
+  g.AddEdge(0, 2, 10.0);
+  std::vector<ConstId> ids = InternVertices(3, &dom);
+  EdbInstance<T> edb(prog.value());
+  LoadEdges<T>(g, ids,
+               [](const Edge& e) { return T::FromScalar(e.weight); },
+               &edb.pops(prog.value().FindPredicate("E")));
+  auto grounded = GroundProgram<T>(prog.value(), edb);
+  auto iter = grounded.NaiveIterate(10000);
+  ASSERT_TRUE(iter.converged);
+
+  // Brute-force: enumerate walks up to length 12 edges.
+  std::vector<std::vector<std::vector<double>>> walks(
+      3, std::vector<std::vector<double>>(3));
+  struct Item {
+    int v;
+    double len;
+    int edges;
+  };
+  std::vector<Item> frontier = {{0, 0, 0}};
+  for (int start = 0; start < 3; ++start) {
+    std::vector<Item> layer = {{start, 0.0, 0}};
+    for (int step = 0; step < 12; ++step) {
+      std::vector<Item> next;
+      for (const Item& it : layer) {
+        for (const Edge& e : g.edges()) {
+          if (e.src != it.v) continue;
+          next.push_back({e.dst, it.len + e.weight, it.edges + 1});
+          walks[start][e.dst].push_back(it.len + e.weight);
+        }
+      }
+      layer = std::move(next);
+    }
+  }
+  int t = prog.value().FindPredicate("T");
+  for (int s = 0; s < 3; ++s) {
+    for (int v = 0; v < 3; ++v) {
+      std::sort(walks[s][v].begin(), walks[s][v].end());
+      int var = grounded.VarOf(t, {ids[s], ids[v]});
+      const T::Value& got = iter.values[var];
+      for (int k = 0; k < 3 && k < static_cast<int>(walks[s][v].size());
+           ++k) {
+        EXPECT_DOUBLE_EQ(got[k], walks[s][v][k])
+            << s << "->" << v << " k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datalogo

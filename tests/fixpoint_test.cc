@@ -1,0 +1,82 @@
+// Generic fixpoint machinery (Section 3): iteration, stability indexes of
+// composed functions (Lemmas 3.2/3.3, Theorem 3.4 bound shape).
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Fixpoint, IterateCountsStabilityIndex) {
+  // f(x) = min(x+1, 5) on {0..5} ordered downward from ⊥ = 0: converges
+  // with index 5.
+  int x = 0;
+  auto stats = IterateToFixpoint(
+      x, [](int v) { return std::min(v + 1, 5); },
+      [](int a, int b) { return a == b; }, 100);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.steps, 5);
+  EXPECT_EQ(x, 5);
+}
+
+TEST(Fixpoint, DivergenceHitsBudget) {
+  long long x = 0;
+  auto stats = IterateToFixpoint(
+      x, [](long long v) { return v + 1; },
+      [](long long a, long long b) { return a == b; }, 50);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.steps, 50);
+}
+
+TEST(Fixpoint, Lemma32CompositionBound) {
+  // h = (f, g) with g independent of the first argument: if g is q-stable
+  // and F(x) = f(x, ḡ) is p-stable then h is (p+q)-stable. Realize it on
+  // pairs of saturating counters.
+  const int p = 4, q = 7;
+  using State = std::pair<int, int>;
+  auto h = [&](State s) {
+    // g: counts to q; f: counts to p but only once g is done.
+    int y = std::min(s.second + 1, q);
+    int x = s.second == q ? std::min(s.first + 1, p) : s.first;
+    return State{x, y};
+  };
+  State s{0, 0};
+  auto stats = IterateToFixpoint(
+      s, h, [](State a, State b) { return a == b; }, 100);
+  ASSERT_TRUE(stats.converged);
+  EXPECT_LE(stats.steps, p + q + 1);
+}
+
+TEST(Fixpoint, CloneCompositionBoundFormula) {
+  // E_m(a1..am) = a1 + a1a2 + … (Theorem 3.4).
+  int s1[] = {2, 3};
+  EXPECT_EQ(CloneCompositionBound(s1, 2), 2u + 6u);
+  int s2[] = {1, 1, 1};
+  EXPECT_EQ(CloneCompositionBound(s2, 3), 3u);
+  int s3[] = {3, 2, 1};
+  EXPECT_EQ(CloneCompositionBound(s3, 3), 3u + 6u + 6u);
+}
+
+TEST(Fixpoint, BoundsMonotoneInPAndN) {
+  for (int p = 0; p < 4; ++p) {
+    for (int n = 1; n < 8; ++n) {
+      EXPECT_LE(LinearConvergenceBound(p, n), GeneralConvergenceBound(p, n));
+      EXPECT_LE(GeneralConvergenceBound(p, n),
+                GeneralConvergenceBound(p + 1, n));
+      EXPECT_LT(GeneralConvergenceBound(p, n),
+                GeneralConvergenceBound(p, n + 1));
+    }
+  }
+}
+
+TEST(Fixpoint, ZeroStableLinearBoundIsN) {
+  // For p = 0, the linear bound Σ (p+1)^i = N — matching Theorem 5.12(2).
+  for (int n = 1; n < 10; ++n) {
+    EXPECT_EQ(LinearConvergenceBound(0, n), static_cast<uint64_t>(n));
+  }
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,88 @@
+// Graph substrate and generators.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/graph/workloads.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Graph, ShortestPathOracle) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(0, 2, 5.0);
+  auto d = g.ShortestPathsFrom(0);
+  EXPECT_EQ(d[0], 0.0);
+  EXPECT_EQ(d[1], 1.0);
+  EXPECT_EQ(d[2], 3.0);
+  EXPECT_EQ(d[3], std::numeric_limits<double>::infinity());
+}
+
+TEST(Graph, ReachabilityOracle) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  auto r = g.ReachableFrom(0);
+  EXPECT_TRUE(r[0]);
+  EXPECT_TRUE(r[1]);
+  EXPECT_FALSE(r[2]);
+}
+
+TEST(Generators, CycleHasNEdges) {
+  Graph g = CycleGraph(5);
+  EXPECT_EQ(g.num_edges(), 5);
+  auto d = g.ShortestPathsFrom(0);
+  EXPECT_EQ(d[4], 4.0);
+}
+
+TEST(Generators, GridDimensions) {
+  Graph g = GridGraph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // rights + downs
+  auto d = g.ShortestPathsFrom(0);
+  EXPECT_EQ(d[11], 5.0);  // manhattan distance
+}
+
+TEST(Generators, RandomGraphIsDeterministicPerSeed) {
+  Graph a = RandomGraph(10, 20, 5);
+  Graph b = RandomGraph(10, 20, 5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+    EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+    EXPECT_EQ(a.edges()[i].weight, b.edges()[i].weight);
+  }
+}
+
+TEST(Generators, LayeredDagIsAcyclic) {
+  Graph g = LayeredDag(4, 5, 0.5, 9);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.src / 5, e.dst / 5);  // strictly forward layers
+  }
+}
+
+TEST(Generators, TreeWithCrossEdgesIsAcyclicAndConnected) {
+  Graph g = TreeWithCrossEdges(30, 10, 3);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.src, e.dst);  // topological by construction
+  }
+  // Every vertex reachable from the root.
+  auto r = g.ReachableFrom(0);
+  for (int v = 0; v < 30; ++v) EXPECT_TRUE(r[v]) << v;
+}
+
+TEST(Workloads, PaperFiguresShape) {
+  NamedGraph f2a = PaperFig2a();
+  EXPECT_EQ(f2a.names.size(), 4u);
+  EXPECT_EQ(f2a.edges.size(), 5u);
+  NamedGraph f2b = PaperFig2b();
+  EXPECT_EQ(f2b.vertex_costs.at("d"), 10.0);
+  NamedGraph f4 = PaperFig4();
+  EXPECT_EQ(f4.names.size(), 6u);
+  EXPECT_EQ(f4.edges.size(), 7u);
+}
+
+}  // namespace
+}  // namespace datalogo

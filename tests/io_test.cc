@@ -1,0 +1,99 @@
+// TSV relation I/O.
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+#include "src/relation/io.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Io, LoadTropRelation) {
+  Domain dom;
+  Relation<TropS> rel(2);
+  Status s = LoadTsv<TropS>(
+      "# edges\n"
+      "a b 1.5\n"
+      "b c 2\n"
+      "\n"
+      "a c 9.25\n",
+      &dom, &rel, ParseDoubleValue);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(rel.support_size(), 3u);
+  EXPECT_EQ(rel.Get({*dom.FindSymbol("a"), *dom.FindSymbol("b")}), 1.5);
+}
+
+TEST(Io, RepeatedTuplesAccumulate) {
+  Domain dom;
+  Relation<TropS> rel(1);
+  ASSERT_TRUE(LoadTsv<TropS>("x 5\nx 3\nx 7\n", &dom, &rel,
+                             ParseDoubleValue)
+                  .ok());
+  EXPECT_EQ(rel.Get({*dom.FindSymbol("x")}), 3.0);  // min
+}
+
+TEST(Io, IntKeysInternAsIntegers) {
+  Domain dom;
+  Relation<NatS> rel(2);
+  ASSERT_TRUE(
+      LoadTsv<NatS>("1 2 10\n-3 2 4\n", &dom, &rel, ParseUintValue).ok());
+  EXPECT_EQ(rel.Get({dom.InternInt(1), dom.InternInt(2)}), 10u);
+  EXPECT_EQ(rel.Get({dom.InternInt(-3), dom.InternInt(2)}), 4u);
+}
+
+TEST(Io, ColumnCountErrors) {
+  Domain dom;
+  Relation<TropS> rel(2);
+  Status s = LoadTsv<TropS>("a b\n", &dom, &rel, ParseDoubleValue);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kInvalidArgument);
+}
+
+TEST(Io, BadValueErrors) {
+  Domain dom;
+  Relation<TropS> rel(1);
+  EXPECT_FALSE(
+      LoadTsv<TropS>("a not_a_number\n", &dom, &rel, ParseDoubleValue).ok());
+}
+
+TEST(Io, BoolRelationAllColumnsAreKeys) {
+  Domain dom;
+  Relation<BoolS> rel(2);
+  ASSERT_TRUE(LoadTsvBool("a b\nb c\n", &dom, &rel).ok());
+  EXPECT_EQ(rel.support_size(), 2u);
+  EXPECT_TRUE(rel.Get({*dom.FindSymbol("b"), *dom.FindSymbol("c")}));
+}
+
+TEST(Io, DumpRoundTrips) {
+  Domain dom;
+  Relation<TropS> rel(2);
+  rel.Set({dom.InternSymbol("b"), dom.InternSymbol("a")}, 2.0);
+  rel.Set({dom.InternSymbol("a"), dom.InternSymbol("b")}, 1.0);
+  std::string tsv = DumpTsv(rel, dom);
+  Domain dom2;
+  Relation<TropS> rel2(2);
+  ASSERT_TRUE(LoadTsv<TropS>(tsv, &dom2, &rel2, ParseDoubleValue).ok());
+  EXPECT_EQ(rel2.support_size(), 2u);
+  EXPECT_EQ(rel2.Get({*dom2.FindSymbol("a"), *dom2.FindSymbol("b")}), 1.0);
+}
+
+TEST(Io, EndToEndProgramFromTsv) {
+  // Load edges from TSV, run APSP, dump the result.
+  Domain dom;
+  auto prog = ParseProgram(
+                  "edb E/2. idb T/2. T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).",
+                  &dom)
+                  .value();
+  EdbInstance<TropS> edb(prog);
+  ASSERT_TRUE(LoadTsv<TropS>("a b 1\nb c 2\n", &dom,
+                             &edb.pops(prog.FindPredicate("E")),
+                             ParseDoubleValue)
+                  .ok());
+  Engine<TropS> engine(prog, edb);
+  auto r = engine.SemiNaive(100);
+  ASSERT_TRUE(r.converged);
+  std::string out = DumpTsv(r.idb.idb(prog.FindPredicate("T")), dom);
+  EXPECT_NE(out.find("a\tc\t3"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,107 @@
+// Floyd–Warshall–Kleene closure (Sec. 5.5): A* agrees with the iterated
+// truncated sums on stable matrices, and solves x = A·x ⊕ b.
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+Matrix<TropS> TropAdjacency(const Graph& g) {
+  Matrix<TropS> a(g.num_vertices(), g.num_vertices());
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    for (int j = 0; j < g.num_vertices(); ++j) a.at(i, j) = TropS::Inf();
+  }
+  for (const Edge& e : g.edges()) {
+    a.at(e.src, e.dst) = std::min(a.at(e.src, e.dst), e.weight);
+  }
+  return a;
+}
+
+TEST(Kleene, ClosureIsAllPairsShortestPaths) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = RandomGraph(9, 25, seed);
+    Matrix<TropS> a = TropAdjacency(g);
+    Matrix<TropS> star = KleeneClosurePStable<TropS>(a, /*p=*/0);
+    for (int s = 0; s < 9; ++s) {
+      std::vector<double> dist = g.ShortestPathsFrom(s);
+      for (int v = 0; v < 9; ++v) {
+        // Floating-point sums associate differently in the elimination
+        // order vs Bellman–Ford; compare up to ulps.
+        if (dist[v] == TropS::Inf()) {
+          EXPECT_EQ(star.at(s, v), dist[v]) << s << "->" << v;
+        } else {
+          EXPECT_NEAR(star.at(s, v), dist[v], 1e-9) << s << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kleene, ClosureMatchesMatrixStabilityLimit) {
+  // On a stable matrix, A* equals A^(q) at the stability index q.
+  Graph g = CycleGraph(4);
+  Matrix<TropS> a = TropAdjacency(g);
+  auto q = MatrixStabilityIndex<TropS>(a, 100);
+  ASSERT_TRUE(q.has_value());
+  Matrix<TropS> star = KleeneClosurePStable<TropS>(a, 0);
+  EXPECT_TRUE(star.Equals(MatrixStarTruncated<TropS>(a, *q)));
+}
+
+TEST(Kleene, SolvesLinearFixpoint) {
+  // x = A·x ⊕ b over Trop+ = single-source shortest paths with b as the
+  // source indicator.
+  Graph g = RandomGraph(8, 20, /*seed=*/13);
+  Matrix<TropS> a = TropAdjacency(g);
+  // NOTE: x_i = min_j A_ij + x_j propagates along REVERSED edges, so
+  // build from the transpose to model forward reachability.
+  Matrix<TropS> at(8, 8);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) at.at(i, j) = a.at(j, i);
+  }
+  std::vector<double> b(8, TropS::Inf());
+  b[0] = 0.0;  // source
+  auto x = SolveLinearFixpoint<TropS>(at, b, 0);
+  std::vector<double> dist = g.ShortestPathsFrom(0);
+  for (int v = 0; v < 8; ++v) {
+    if (dist[v] == TropS::Inf()) {
+      EXPECT_EQ(x[v], dist[v]) << v;
+    } else {
+      EXPECT_NEAR(x[v], dist[v], 1e-9) << v;
+    }
+  }
+}
+
+TEST(Kleene, TropPClosureCollectsTopPaths) {
+  // Over Trop+_1 the closure of the 3-cycle yields, for each pair, the two
+  // cheapest walk lengths.
+  using T = TropPS<1>;
+  Matrix<T> a(3, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a.at(i, j) = T::Zero();
+  }
+  a.at(0, 1) = T::FromScalar(1.0);
+  a.at(1, 2) = T::FromScalar(1.0);
+  a.at(2, 0) = T::FromScalar(1.0);
+  Matrix<T> star = KleeneClosurePStable<T>(a, /*p=*/1);
+  // 0→0: walks of length 0, 3, 6, … → top-2 = {0, 3}.
+  EXPECT_TRUE(T::Eq(star.at(0, 0), T::Value{0, 3}));
+  // 0→2: walks of length 2, 5, 8, … → {2, 5}.
+  EXPECT_TRUE(T::Eq(star.at(0, 2), T::Value{2, 5}));
+}
+
+TEST(Kleene, BooleanClosureIsReflexiveTransitiveClosure) {
+  Graph g = RandomGraph(10, 18, /*seed=*/3);
+  Matrix<BoolS> a(10, 10);
+  for (const Edge& e : g.edges()) a.at(e.src, e.dst) = true;
+  Matrix<BoolS> star = KleeneClosurePStable<BoolS>(a, 0);
+  for (int s = 0; s < 10; ++s) {
+    std::vector<bool> reach = g.ReachableFrom(s);
+    for (int v = 0; v < 10; ++v) {
+      EXPECT_EQ(star.at(s, v), reach[v]) << s << "->" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,81 @@
+// Lifted and completed POPS (Sec. 2.5.1), plus the Lemma 2.8 phenomenon:
+// no POPS extension of R can restore absorption.
+#include <gtest/gtest.h>
+
+#include "src/semiring/completed.h"
+#include "src/semiring/lifted.h"
+#include "src/semiring/naturals.h"
+#include "src/semiring/reals.h"
+#include "src/semiring/core_semiring.h"
+
+namespace datalogo {
+namespace {
+
+using LR = Lifted<RealS>;
+using LN = Lifted<NatS>;
+
+TEST(Lifted, BottomPropagatesThroughBothOps) {
+  EXPECT_TRUE(LR::Eq(LR::Plus(LR::Bottom(), LR::Bottom()), LR::Bottom()));
+  EXPECT_TRUE(LR::Eq(LR::Times(LR::Bottom(), LR::Bottom()), LR::Bottom()));
+  EXPECT_TRUE(LR::Eq(LR::Plus(LR::Lift(3.0), LR::Bottom()), LR::Bottom()));
+}
+
+TEST(Lifted, AbsorptionFailsAsLemma28Predicts) {
+  // 0 ⊗ ⊥ = ⊥ ≠ 0: the lifted reals are a POPS but not a semiring.
+  EXPECT_FALSE(LR::Eq(LR::Times(LR::Zero(), LR::Bottom()), LR::Zero()));
+  static_assert(!LR::kIsSemiring);
+}
+
+TEST(Lifted, FlatOrder) {
+  EXPECT_TRUE(LR::Leq(LR::Bottom(), LR::Lift(1.0)));
+  EXPECT_TRUE(LR::Leq(LR::Lift(1.0), LR::Lift(1.0)));
+  EXPECT_FALSE(LR::Leq(LR::Lift(1.0), LR::Lift(2.0)));
+  EXPECT_FALSE(LR::Leq(LR::Lift(1.0), LR::Bottom()));
+}
+
+TEST(Lifted, BaseArithmeticSurvivesLifting) {
+  EXPECT_TRUE(LR::Eq(LR::Plus(LR::Lift(2.0), LR::Lift(3.0)), LR::Lift(5.0)));
+  EXPECT_TRUE(LR::Eq(LR::Times(LR::Lift(2.0), LR::Lift(3.0)),
+                     LR::Lift(6.0)));
+  EXPECT_TRUE(LN::Eq(LN::Plus(LN::Lift(2), LN::Lift(3)), LN::Lift(5)));
+}
+
+TEST(Lifted, MonotonicityOfOpsInFlatOrder) {
+  // ⊥ ⊑ x implies ⊥ ⊕ y ⊑ x ⊕ y (both sides ⊥ or equal).
+  auto vals = {LR::Bottom(), LR::Lift(0.0), LR::Lift(2.0)};
+  for (const auto& a : vals) {
+    for (const auto& b : vals) {
+      if (!LR::Leq(a, b)) continue;
+      for (const auto& c : vals) {
+        EXPECT_TRUE(LR::Leq(LR::Plus(a, c), LR::Plus(b, c)));
+        EXPECT_TRUE(LR::Leq(LR::Times(a, c), LR::Times(b, c)));
+      }
+    }
+  }
+}
+
+TEST(Completed, OrderSandwich) {
+  using C = Completed<RealS>;
+  EXPECT_TRUE(C::Leq(C::Bottom(), C::Lift(1.0)));
+  EXPECT_TRUE(C::Leq(C::Lift(1.0), C::Top()));
+  EXPECT_TRUE(C::Leq(C::Bottom(), C::Top()));
+  EXPECT_FALSE(C::Leq(C::Lift(1.0), C::Lift(2.0)));
+}
+
+TEST(Completed, CoreSemiringIsTrivial) {
+  using C = Completed<RealS>;
+  using Core = CoreSemiring<C>;
+  EXPECT_TRUE(C::Eq(Core::Inject(C::Lift(5.0)), C::Bottom()));
+  EXPECT_TRUE(C::Eq(Core::Inject(C::Top()), C::Bottom()));
+}
+
+TEST(Completed, ArithmeticTables) {
+  using C = Completed<NatS>;
+  EXPECT_TRUE(C::Eq(C::Times(C::Lift(2), C::Lift(3)), C::Lift(6)));
+  EXPECT_TRUE(C::Eq(C::Plus(C::Top(), C::Lift(3)), C::Top()));
+  EXPECT_TRUE(C::Eq(C::Times(C::Top(), C::Top()), C::Top()));
+  EXPECT_TRUE(C::Eq(C::Plus(C::Top(), C::Bottom()), C::Bottom()));
+}
+
+}  // namespace
+}  // namespace datalogo

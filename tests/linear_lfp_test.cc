@@ -1,0 +1,168 @@
+// LinearLFP (Algorithm 2, Theorem 5.22): agrees with naive iteration on
+// linear systems over p-stable POPS, including the non-semiring lifted
+// reals where explicit term lists matter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+TEST(LinearLfp, SingleVariableClosedForm) {
+  // x = a·x ⊕ b over Trop+: solution a^(0)·b = b (0-stable).
+  LinearFunction<TropS> f;
+  f.AddTerm(0, 2.0);
+  f.AddConstant(7.0);
+  auto x = LinearLFP<TropS>({f}, /*p=*/0);
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_EQ(x[0], 7.0);
+}
+
+TEST(LinearLfp, SingleVariableOverTropP) {
+  // Over Trop+_1: x = 5⊗x ⊕ 7 accumulates {7, 12}.
+  using T = TropPS<1>;
+  LinearFunction<T> f;
+  f.AddTerm(0, T::FromScalar(5.0));
+  f.AddConstant(T::FromScalar(7.0));
+  auto x = LinearLFP<T>({f}, /*p=*/1);
+  EXPECT_TRUE(T::Eq(x[0], T::Value{7.0, 12.0}));
+}
+
+TEST(LinearLfp, MatchesNaiveIterationOnRandomTropSystems) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> w(0.5, 9.0);
+  for (int n : {1, 2, 3, 5, 8}) {
+    // Build the same random linear system in both representations.
+    std::vector<LinearFunction<TropS>> fs(n);
+    PolySystem<TropS> sys(n);
+    for (int i = 0; i < n; ++i) {
+      double c = w(rng);
+      fs[i].AddConstant(c);
+      sys.poly(i).Add(Monomial<TropS>{c, {}, {}});
+      for (int j = 0; j < n; ++j) {
+        if ((rng() % 3) == 0) {
+          double a = w(rng);
+          fs[i].AddTerm(j, a);
+          sys.poly(i).Add(Monomial<TropS>{a, {{j, 1}}, {}});
+        }
+      }
+    }
+    auto direct = LinearLFP<TropS>(fs, /*p=*/0);
+    auto iter = sys.NaiveIterate(1 << 16);
+    ASSERT_TRUE(iter.converged) << n;
+    for (int i = 0; i < n; ++i) {
+      if (iter.values[i] == TropS::Inf()) {
+        EXPECT_EQ(direct[i], iter.values[i]) << "n=" << n << " i=" << i;
+      } else {
+        // Elimination reassociates double sums; compare up to ulps.
+        EXPECT_NEAR(direct[i], iter.values[i], 1e-9)
+            << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(LinearLfp, MatchesNaiveIterationOverTropP) {
+  using T = TropPS<2>;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> w(1.0, 6.0);
+  for (int n : {1, 2, 3, 4}) {
+    std::vector<LinearFunction<T>> fs(n);
+    PolySystem<T> sys(n);
+    for (int i = 0; i < n; ++i) {
+      T::Value c = T::FromScalar(w(rng));
+      fs[i].AddConstant(c);
+      sys.poly(i).Add(Monomial<T>{c, {}, {}});
+      for (int j = 0; j < n; ++j) {
+        if ((i + 2 * j) % 3 != 0) continue;
+        T::Value a = T::FromScalar(w(rng));
+        fs[i].AddTerm(j, a);
+        sys.poly(i).Add(Monomial<T>{a, {{j, 1}}, {}});
+      }
+    }
+    auto direct = LinearLFP<T>(fs, /*p=*/2);
+    auto iter = sys.NaiveIterate(1 << 16);
+    ASSERT_TRUE(iter.converged);
+    auto near_eq = [](const T::Value& a, const T::Value& b) {
+      for (int k = 0; k < T::kBagSize; ++k) {
+        if (a[k] == T::Inf() || b[k] == T::Inf()) {
+          if (a[k] != b[k]) return false;
+        } else if (std::abs(a[k] - b[k]) > 1e-9) {
+          return false;
+        }
+      }
+      return true;
+    };
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(near_eq(direct[i], iter.values[i]))
+          << "n=" << n << " i=" << i << " " << T::ToString(direct[i])
+          << " vs " << T::ToString(iter.values[i]);
+    }
+  }
+}
+
+TEST(LinearLfp, LiftedRealsExplicitTermLists) {
+  // Over R⊥ (p = 0: the core semiring is trivial), explicit monomials are
+  // essential. x0 = 5 (no x-term!), x1 = x0 + 2.
+  using L = Lifted<RealS>;
+  LinearFunction<L> f0, f1;
+  f0.AddConstant(L::Lift(5.0));
+  f1.AddTerm(0, L::One());
+  f1.AddConstant(L::Lift(2.0));
+  auto x = LinearLFP<L>({f0, f1}, /*p=*/0);
+  EXPECT_TRUE(L::Eq(x[0], L::Lift(5.0)));
+  EXPECT_TRUE(L::Eq(x[1], L::Lift(7.0)));
+}
+
+TEST(LinearLfp, LiftedRealsRecursiveVariableStaysBottom) {
+  // x0 = x0 + 1 over R⊥: the least fixpoint is ⊥ (Example 4.2 pattern);
+  // a dependent x1 = x0 + 3 must also be ⊥ by strictness.
+  using L = Lifted<RealS>;
+  LinearFunction<L> f0, f1;
+  f0.AddTerm(0, L::One());
+  f0.AddConstant(L::Lift(1.0));
+  f1.AddTerm(0, L::One());
+  f1.AddConstant(L::Lift(3.0));
+  auto x = LinearLFP<L>({f0, f1}, /*p=*/0);
+  EXPECT_TRUE(L::Eq(x[0], L::Bottom()));
+  EXPECT_TRUE(L::Eq(x[1], L::Bottom()));
+}
+
+TEST(LinearLfp, BillOfMaterialGroundedSystem) {
+  // The Example 4.2 grounded program solved directly by LinearLFP:
+  // T(a) = C(a)+T(b)+T(c); T(b) = C(b)+T(a)+T(c); T(c) = C(c)+T(d);
+  // T(d) = C(d).
+  using L = Lifted<RealS>;
+  auto one = L::One();
+  LinearFunction<L> fa, fb, fc, fd;
+  fa.AddConstant(L::Lift(1.0));
+  fa.AddTerm(1, one);
+  fa.AddTerm(2, one);
+  fb.AddConstant(L::Lift(1.0));
+  fb.AddTerm(0, one);
+  fb.AddTerm(2, one);
+  fc.AddConstant(L::Lift(1.0));
+  fc.AddTerm(3, one);
+  fd.AddConstant(L::Lift(10.0));
+  auto x = LinearLFP<L>({fa, fb, fc, fd}, /*p=*/0);
+  EXPECT_TRUE(L::Eq(x[0], L::Bottom()));
+  EXPECT_TRUE(L::Eq(x[1], L::Bottom()));
+  EXPECT_TRUE(L::Eq(x[2], L::Lift(11.0)));
+  EXPECT_TRUE(L::Eq(x[3], L::Lift(10.0)));
+}
+
+TEST(LinearLfp, NormalizeMergesDuplicateTerms) {
+  // a1·x ⊕ a2·x = (a1 ⊕ a2)·x: 3·x ⊕ 5·x over Trop+ = 3·x.
+  LinearFunction<TropS> f;
+  f.AddTerm(0, 3.0);
+  f.AddTerm(0, 5.0);
+  f.Normalize();
+  ASSERT_EQ(f.terms.size(), 1u);
+  EXPECT_EQ(f.terms[0].second, 3.0);
+}
+
+}  // namespace
+}  // namespace datalogo

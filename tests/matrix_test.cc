@@ -1,0 +1,125 @@
+// Matrices over semirings and Lemma 5.20: every N×N matrix over Trop+_p
+// is ((p+1)N − 1)-stable, and the N-cycle attains the bound exactly.
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Matrix, PlusTimesIdentity) {
+  Matrix<NatS> a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = 5;
+  b.at(1, 1) = 6;
+  auto sum = a.Plus(b);
+  EXPECT_EQ(sum.at(0, 0), 6u);
+  EXPECT_EQ(sum.at(0, 1), 2u);
+  auto prod = a.Times(Matrix<NatS>::Identity(2));
+  EXPECT_TRUE(prod.Equals(a));
+  auto ab = a.Times(b);
+  EXPECT_EQ(ab.at(0, 0), 5u);   // 1*5 + 2*0
+  EXPECT_EQ(ab.at(0, 1), 12u);  // 1*0 + 2*6
+}
+
+TEST(Matrix, ApplyIsMatVec) {
+  Matrix<TropS> a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = TropS::Inf();
+  a.at(1, 1) = 0.5;
+  std::vector<double> x = {10.0, 20.0};
+  auto y = a.Apply(x);
+  EXPECT_EQ(y[0], 11.0);  // min(1+10, 2+20)
+  EXPECT_EQ(y[1], 20.5);
+}
+
+/// Adjacency matrix of a graph over Trop+_p (bags of parallel-edge costs).
+template <int kP>
+Matrix<TropPS<kP>> TropPAdjacency(const Graph& g) {
+  using T = TropPS<kP>;
+  Matrix<T> a(g.num_vertices(), g.num_vertices());
+  for (int i = 0; i < g.num_vertices(); ++i) {
+    for (int j = 0; j < g.num_vertices(); ++j) a.at(i, j) = T::Zero();
+  }
+  for (const Edge& e : g.edges()) {
+    a.at(e.src, e.dst) = T::Plus(a.at(e.src, e.dst), T::FromScalar(e.weight));
+  }
+  return a;
+}
+
+template <int kP>
+void CheckLemma520Cycle(int n) {
+  // The N-cycle attains stability index exactly (p+1)N − 1.
+  auto a = TropPAdjacency<kP>(CycleGraph(n));
+  auto idx = MatrixStabilityIndex<TropPS<kP>>(a, (kP + 1) * n + 8);
+  ASSERT_TRUE(idx.has_value()) << "p=" << kP << " n=" << n;
+  EXPECT_EQ(*idx, (kP + 1) * n - 1) << "p=" << kP << " n=" << n;
+}
+
+TEST(Matrix, Lemma520CycleIsTight) {
+  CheckLemma520Cycle<0>(3);
+  CheckLemma520Cycle<0>(5);
+  CheckLemma520Cycle<1>(3);
+  CheckLemma520Cycle<1>(5);
+  CheckLemma520Cycle<2>(4);
+  CheckLemma520Cycle<3>(3);
+}
+
+template <int kP>
+void CheckLemma520UpperBound(int n, uint64_t seed) {
+  auto a = TropPAdjacency<kP>(RandomGraph(n, 3 * n, seed));
+  auto idx = MatrixStabilityIndex<TropPS<kP>>(a, (kP + 1) * n + 8);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_LE(*idx, (kP + 1) * n - 1);
+}
+
+TEST(Matrix, Lemma520UpperBoundOnRandomMatrices) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    CheckLemma520UpperBound<0>(6, seed);
+    CheckLemma520UpperBound<1>(6, seed);
+    CheckLemma520UpperBound<2>(5, seed);
+  }
+}
+
+TEST(Matrix, StabilityIndexOfNilpotentMatrixIsSmall) {
+  // A strictly upper-triangular (DAG) matrix over Trop+: A^n = 0, so
+  // A^(q) stabilizes by q = n − 1.
+  Matrix<TropS> a(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) a.at(i, j) = TropS::Inf();
+  }
+  a.at(0, 1) = 1.0;
+  a.at(1, 2) = 1.0;
+  a.at(2, 3) = 1.0;
+  auto idx = MatrixStabilityIndex<TropS>(a, 10);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 3);
+}
+
+TEST(Matrix, StarTruncatedEqualsIteratedSums) {
+  auto a = TropPAdjacency<1>(CycleGraph(3));
+  using T = TropPS<1>;
+  // A^(q) computed two ways: Horner (library) vs explicit powers.
+  Matrix<T> pow = Matrix<T>::Identity(3);
+  Matrix<T> sum = Matrix<T>::Identity(3);
+  for (int q = 1; q <= 5; ++q) {
+    pow = pow.Times(a);
+    sum = sum.Plus(pow);
+    EXPECT_TRUE(MatrixStarTruncated<T>(a, q).Equals(sum)) << q;
+  }
+}
+
+TEST(Matrix, DivergesOverNaturals) {
+  // The cycle over (N, +, ×) has no stable closure.
+  Matrix<NatS> a(2, 2);
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  EXPECT_EQ(MatrixStabilityIndex<NatS>(a, 100), std::nullopt);
+}
+
+}  // namespace
+}  // namespace datalogo

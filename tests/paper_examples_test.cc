@@ -1,0 +1,270 @@
+// End-to-end reproduction of the paper's worked examples:
+//   * Example 4.1 — SSSP on Fig. 2(a) over B, Trop+, Trop+_1, Trop+_{≤η},
+//     including the exact 5-step naive iteration table;
+//   * Example 4.2 — bill-of-material on Fig. 2(b): diverges over N,
+//     converges in 3 steps over the lifted reals R⊥;
+//   * Example 1.1 — APSP over Trop+;
+//   * Sec. 4.5 — prefix-sum with case statements (desugared).
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+constexpr const char* kSsspProgram = R"(
+  edb E/2.
+  idb L/1.
+  L(X) :- [X = a] ; L(Z) * E(Z, X).
+)";
+
+// Loads Fig. 2(a) into an EDB instance over P, lifting weights via F.
+template <Pops P, typename F>
+EdbInstance<P> LoadFig2a(const Program& prog, Domain* dom, F&& lift) {
+  EdbInstance<P> edb(prog);
+  LoadNamedEdges<P>(PaperFig2a(), dom, lift,
+                    &edb.pops(prog.FindPredicate("E")));
+  return edb;
+}
+
+TEST(Example41, SsspOverTropConvergesInFiveStepsWithPaperTable) {
+  Domain dom;
+  auto prog = ParseProgram(kSsspProgram, &dom);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_TRUE(ValidateProgram(prog.value()).ok());
+
+  auto edb = LoadFig2a<TropS>(prog.value(), &dom,
+                              [](double w) { return w; });
+  Engine<TropS> engine(prog.value(), edb);
+  auto result = engine.Naive(100);
+  ASSERT_TRUE(result.converged);
+  // The paper's table runs L(0)..L(5) ("converges after 5 steps"); our
+  // `steps` is the stability index, i.e. the first t with L(t) = L(t+1),
+  // which the table shows is t = 4.
+  EXPECT_EQ(result.steps, 4);
+
+  int l = prog.value().FindPredicate("L");
+  const Relation<TropS>& rel = result.idb.idb(l);
+  auto at = [&](const char* v) {
+    return rel.Get({*dom.FindSymbol(v)});
+  };
+  EXPECT_EQ(at("a"), 0.0);
+  EXPECT_EQ(at("b"), 1.0);
+  EXPECT_EQ(at("c"), 4.0);
+  EXPECT_EQ(at("d"), 8.0);
+}
+
+TEST(Example41, SsspOverBooleansIsReachability) {
+  Domain dom;
+  auto prog = ParseProgram(kSsspProgram, &dom);
+  ASSERT_TRUE(prog.ok());
+  auto edb = LoadFig2a<BoolS>(prog.value(), &dom,
+                              [](double) { return true; });
+  Engine<BoolS> engine(prog.value(), edb);
+  auto result = engine.Naive(100);
+  ASSERT_TRUE(result.converged);
+  int l = prog.value().FindPredicate("L");
+  for (const char* v : {"a", "b", "c", "d"}) {
+    EXPECT_TRUE(result.idb.idb(l).Get({*dom.FindSymbol(v)})) << v;
+  }
+}
+
+TEST(Example41, SsspOverTropOneComputesTwoShortestPaths) {
+  using T1 = TropPS<1>;
+  Domain dom;
+  auto prog = ParseProgram(kSsspProgram, &dom);
+  ASSERT_TRUE(prog.ok());
+  auto edb = LoadFig2a<T1>(prog.value(), &dom,
+                           [](double w) { return T1::FromScalar(w); });
+  Engine<T1> engine(prog.value(), edb);
+  auto result = engine.Naive(100);
+  ASSERT_TRUE(result.converged);
+  int l = prog.value().FindPredicate("L");
+  const Relation<T1>& rel = result.idb.idb(l);
+  auto at = [&](const char* v) { return rel.Get({*dom.FindSymbol(v)}); };
+  // The paper's Trop+_1 results (Example 4.1).
+  EXPECT_TRUE(T1::Eq(at("a"), T1::Value{0, 3}));
+  EXPECT_TRUE(T1::Eq(at("b"), T1::Value{1, 4}));
+  EXPECT_TRUE(T1::Eq(at("c"), T1::Value{4, 5}));
+  EXPECT_TRUE(T1::Eq(at("d"), T1::Value{8, 9}));
+}
+
+TEST(Example41, SsspOverTropEtaKeepsNearOptimalLengths) {
+  TropEtaS::ScopedEta eta(1.5);
+  Domain dom;
+  auto prog = ParseProgram(kSsspProgram, &dom);
+  ASSERT_TRUE(prog.ok());
+  auto edb = LoadFig2a<TropEtaS>(
+      prog.value(), &dom,
+      [](double w) { return TropEtaS::FromScalar(w); });
+  Engine<TropEtaS> engine(prog.value(), edb);
+  auto result = engine.Naive(100);
+  ASSERT_TRUE(result.converged);
+  int l = prog.value().FindPredicate("L");
+  auto at = [&](const char* v) {
+    return result.idb.idb(l).Get({*dom.FindSymbol(v)});
+  };
+  // Paths to c have lengths {4, 5, 7, 8, ...}: with η = 1.5 keep {4, 5}.
+  EXPECT_EQ(at("c"), (TropEtaS::Value{4, 5}));
+  // Paths to a: {0, 3, 6, ...}: keep {0}.
+  EXPECT_EQ(at("a"), (TropEtaS::Value{0}));
+}
+
+constexpr const char* kBomProgram = R"(
+  bedb E/2.
+  edb C/1.
+  idb T/1.
+  T(X) :- C(X) ; { T(Y) | E(X, Y) }.
+)";
+
+TEST(Example42, BillOfMaterialOverLiftedRealsConvergesInThreeSteps) {
+  using R = Lifted<RealS>;
+  Domain dom;
+  auto prog = ParseProgram(kBomProgram, &dom);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_TRUE(ValidateProgram(prog.value()).ok());
+
+  NamedGraph fig = PaperFig2b();
+  EdbInstance<R> edb(prog.value());
+  LoadNamedEdgesBool(fig, &dom,
+                     &edb.boolean(prog.value().FindPredicate("E")));
+  for (const auto& [v, c] : fig.vertex_costs) {
+    edb.pops(prog.value().FindPredicate("C"))
+        .Set({dom.InternSymbol(v)}, R::Lift(c));
+  }
+
+  // R⊥ is not a semiring: use the grounded engine.
+  auto grounded = GroundProgram<R>(prog.value(), edb);
+  auto iter = grounded.NaiveIterate(100);
+  ASSERT_TRUE(iter.converged);
+  // The paper's table runs T0..T3 with T2 = T3: stability index 2
+  // ("converges in 3 steps" counts the last, unchanged application).
+  EXPECT_EQ(iter.steps, 2);
+
+  IdbInstance<R> idb = grounded.Decode(iter.values);
+  int t = prog.value().FindPredicate("T");
+  auto at = [&](const char* v) {
+    return idb.idb(t).Get({*dom.FindSymbol(v)});
+  };
+  EXPECT_TRUE(R::Eq(at("a"), R::Bottom()));
+  EXPECT_TRUE(R::Eq(at("b"), R::Bottom()));
+  EXPECT_TRUE(R::Eq(at("c"), R::Lift(11.0)));
+  EXPECT_TRUE(R::Eq(at("d"), R::Lift(10.0)));
+}
+
+TEST(Example42, BillOfMaterialOverNaturalsDiverges) {
+  Domain dom;
+  auto prog = ParseProgram(kBomProgram, &dom);
+  ASSERT_TRUE(prog.ok());
+  NamedGraph fig = PaperFig2b();
+  EdbInstance<NatS> edb(prog.value());
+  LoadNamedEdgesBool(fig, &dom,
+                     &edb.boolean(prog.value().FindPredicate("E")));
+  for (const auto& [v, c] : fig.vertex_costs) {
+    edb.pops(prog.value().FindPredicate("C"))
+        .Set({dom.InternSymbol(v)}, static_cast<uint64_t>(c));
+  }
+  auto grounded = GroundProgram<NatS>(prog.value(), edb);
+  auto iter = grounded.NaiveIterate(50);
+  EXPECT_FALSE(iter.converged);  // a,b sit on a cycle: values grow forever
+  // The same divergence is visible through the support engine.
+  Engine<NatS> engine(prog.value(), edb);
+  EXPECT_FALSE(engine.Naive(50).converged);
+}
+
+constexpr const char* kApspProgram = R"(
+  edb E/2.
+  idb T/2.
+  T(X, Y) :- E(X, Y) ; T(X, Z) * E(Z, Y).
+)";
+
+TEST(Example11, ApspOverTropMatchesBellmanFord) {
+  Domain dom;
+  auto prog = ParseProgram(kApspProgram, &dom);
+  ASSERT_TRUE(prog.ok());
+  Graph g = RandomGraph(12, 40, /*seed=*/7);
+  std::vector<ConstId> ids = InternVertices(12, &dom);
+  EdbInstance<TropS> edb(prog.value());
+  LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                   &edb.pops(prog.value().FindPredicate("E")));
+  Engine<TropS> engine(prog.value(), edb);
+  auto result = engine.Naive(1000);
+  ASSERT_TRUE(result.converged);
+  int t = prog.value().FindPredicate("T");
+  for (int s = 0; s < 12; ++s) {
+    std::vector<double> dist = g.ShortestPathsFrom(s);
+    for (int v = 0; v < 12; ++v) {
+      if (v == s) continue;  // T excludes the empty path
+      EXPECT_EQ(result.idb.idb(t).Get({ids[s], ids[v]}), dist[v])
+          << s << "->" << v;
+    }
+  }
+}
+
+TEST(Sec45, PrefixSumViaCaseStatementDesugaring) {
+  // W(i) :- case i=0: V(0); i<n: W(i-1)+V(i) — desugared per Sec. 4.5.
+  // Key arithmetic (i-1) is encoded with a Boolean successor EDB.
+  constexpr const char* kText = R"(
+    edb V/1.
+    bedb Succ/2.
+    idb W/1.
+    W(I) :- { V(I) | I = 0 } ; { W(J) * V(I) | Succ(J, I) }.
+  )";
+  Domain dom;
+  auto prog = ParseProgram(kText, &dom);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_TRUE(ValidateProgram(prog.value()).ok());
+
+  // Over (N, +, ×): W(i) should be... careful: ⊗ is ×, so use values as
+  // exponents? No — the prefix-sum needs ⊕ aggregation only; the body
+  // uses ⊗ to chain, so interpret over (N∪{∞}, min, +) where ⊗ = + gives
+  // running sums and ⊕ = min is trivial (single derivation per tuple).
+  EdbInstance<TropNatS> edb(prog.value());
+  const int n = 20;
+  uint64_t expect = 0;
+  std::vector<uint64_t> prefix(n);
+  for (int i = 0; i < n; ++i) {
+    ConstId id = dom.InternInt(i);
+    edb.pops(prog.value().FindPredicate("V")).Set({id}, uint64_t(i * 3 + 1));
+    expect += i * 3 + 1;
+    prefix[i] = expect;
+    if (i > 0) {
+      edb.boolean(prog.value().FindPredicate("Succ"))
+          .Set({dom.InternInt(i - 1), id}, true);
+    }
+  }
+  Engine<TropNatS> engine(prog.value(), edb);
+  auto result = engine.Naive(100);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.steps, n);  // one chain element resolved per step
+  int w = prog.value().FindPredicate("W");
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(result.idb.idb(w).Get({dom.InternInt(i)}), prefix[i]) << i;
+  }
+}
+
+TEST(SupportVsGrounded, AgreeOnNaturallyOrderedSemirings) {
+  // Property: the two engines implement the same semantics on naturally
+  // ordered semirings (Sec. 4.3 equivalence of ICO and grounded views).
+  Domain dom;
+  auto prog = ParseProgram(kApspProgram, &dom);
+  ASSERT_TRUE(prog.ok());
+  Graph g = RandomGraph(6, 14, /*seed=*/21);
+  std::vector<ConstId> ids = InternVertices(6, &dom);
+  EdbInstance<TropS> edb(prog.value());
+  LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                   &edb.pops(prog.value().FindPredicate("E")));
+
+  Engine<TropS> engine(prog.value(), edb);
+  auto support = engine.Naive(1000);
+  ASSERT_TRUE(support.converged);
+
+  auto grounded = GroundProgram<TropS>(prog.value(), edb);
+  auto iter = grounded.NaiveIterate(1000);
+  ASSERT_TRUE(iter.converged);
+  IdbInstance<TropS> decoded = grounded.Decode(iter.values);
+  EXPECT_TRUE(decoded.Equals(support.idb));
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,112 @@
+// Parser robustness: mutated and adversarial inputs must produce a clean
+// Status (never crash, never loop); valid programs survive mutation of
+// whitespace and comments.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/datalog/parser.h"
+#include "src/datalog/validate.h"
+
+namespace datalogo {
+namespace {
+
+const char* kSeedPrograms[] = {
+    "T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).",
+    "edb E/2. idb L/1. L(X) :- [X = a] ; L(Z) * E(Z, X).",
+    "bedb E/2. W(X) :- { !W(Y) | E(X, Y) }.",
+    "W(I) :- case I = 0 : V(I) ; Succ(J, I) : W(J) * V(I) ; else 1.",
+    "T(X) :- { C(Y) | E(X, Y), X != Y, Y >= -3 }.",
+};
+
+TEST(ParserFuzz, TruncationsNeverCrash) {
+  for (const char* seed : kSeedPrograms) {
+    std::string text = seed;
+    for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+      Domain dom;
+      auto r = ParseProgram(text.substr(0, cut), &dom);
+      // Must terminate with ok or a parse error — just exercising it.
+      if (r.ok()) {
+        ValidateProgram(r.value());
+      }
+    }
+  }
+}
+
+TEST(ParserFuzz, SingleCharacterMutationsNeverCrash) {
+  const char kAlphabet[] = "ABXYZabe01.;:*|!{}[]()<>=,/#%-_ \t\n";
+  std::mt19937_64 rng(99);
+  for (const char* seed : kSeedPrograms) {
+    const std::string base = seed;
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string text = base;
+      std::size_t pos = rng() % text.size();
+      text[pos] = kAlphabet[rng() % (sizeof(kAlphabet) - 1)];
+      Domain dom;
+      auto r = ParseProgram(text, &dom);
+      if (r.ok()) {
+        ValidateProgram(r.value());
+      }
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  const char* kTokens[] = {"T",  "(",  ")", ",",  ".",  ":-", ";", "*",
+                           "{",  "}",  "[", "]",  "|",  "!",  "=", "!=",
+                           "<",  "<=", "X", "Y",  "a",  "42", "-7", "edb",
+                           "bedb", "idb", "case", "else", "/", ":"};
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    int len = 1 + static_cast<int>(rng() % 30);
+    for (int i = 0; i < len; ++i) {
+      text += kTokens[rng() % (sizeof(kTokens) / sizeof(kTokens[0]))];
+      text += " ";
+    }
+    Domain dom;
+    auto r = ParseProgram(text, &dom);
+    if (r.ok()) {
+      ValidateProgram(r.value());
+    }
+  }
+}
+
+TEST(ParserFuzz, WhitespaceAndCommentsAreInert) {
+  for (const char* seed : kSeedPrograms) {
+    Domain dom1, dom2;
+    auto plain = ParseProgram(seed, &dom1);
+    std::string noisy;
+    for (const char* p = seed; *p; ++p) {
+      noisy += *p;
+      if (*p == '.') noisy += "\n  // comment\n   % more\n";
+    }
+    auto parsed = ParseProgram(noisy, &dom2);
+    ASSERT_EQ(plain.ok(), parsed.ok()) << seed;
+    if (plain.ok()) {
+      EXPECT_EQ(plain.value().ToString(), parsed.value().ToString());
+    }
+  }
+}
+
+TEST(ParserFuzz, DeeplyNestedInputTerminates) {
+  // Pathological but bounded inputs.
+  std::string many_disjuncts = "T(X) :- E(X,X)";
+  for (int i = 0; i < 2000; ++i) many_disjuncts += " ; E(X,X)";
+  many_disjuncts += ".";
+  Domain dom;
+  auto r = ParseProgram(many_disjuncts, &dom);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rules()[0].disjuncts.size(), 2001u);
+
+  std::string many_factors = "T(X) :- E(X,X)";
+  for (int i = 0; i < 2000; ++i) many_factors += " * E(X,X)";
+  many_factors += ".";
+  Domain dom2;
+  auto r2 = ParseProgram(many_factors, &dom2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().rules()[0].disjuncts[0].atoms.size(), 2001u);
+}
+
+}  // namespace
+}  // namespace datalogo

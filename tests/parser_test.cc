@@ -1,0 +1,147 @@
+// Parser unit tests: syntax coverage and error reporting.
+#include <gtest/gtest.h>
+
+#include "src/datalog/parser.h"
+#include "src/datalog/validate.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Parser, DeclarationsAndKinds) {
+  Domain dom;
+  auto r = ParseProgram("edb E/2. bedb B/1. idb T/3.", &dom);
+  ASSERT_TRUE(r.ok());
+  const Program& p = r.value();
+  EXPECT_EQ(p.predicate(p.FindPredicate("E")).kind, PredKind::kEdb);
+  EXPECT_EQ(p.predicate(p.FindPredicate("B")).kind, PredKind::kBoolEdb);
+  EXPECT_EQ(p.predicate(p.FindPredicate("T")).kind, PredKind::kIdb);
+  EXPECT_EQ(p.predicate(p.FindPredicate("T")).arity, 3);
+}
+
+TEST(Parser, AutoDeclaration) {
+  Domain dom;
+  auto r = ParseProgram("T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).", &dom);
+  ASSERT_TRUE(r.ok());
+  const Program& p = r.value();
+  EXPECT_EQ(p.predicate(p.FindPredicate("T")).kind, PredKind::kIdb);
+  EXPECT_EQ(p.predicate(p.FindPredicate("E")).kind, PredKind::kEdb);
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_EQ(p.rules()[0].disjuncts.size(), 2u);
+  EXPECT_EQ(p.rules()[0].num_vars, 3);
+}
+
+TEST(Parser, VariablesVsConstants) {
+  Domain dom;
+  auto r = ParseProgram("T(X) :- E(X, abc) ; E(X, 42).", &dom);
+  ASSERT_TRUE(r.ok());
+  const Rule& rule = r.value().rules()[0];
+  const Atom& a0 = rule.disjuncts[0].atoms[0];
+  EXPECT_TRUE(a0.args[0].IsVar());
+  EXPECT_FALSE(a0.args[1].IsVar());
+  EXPECT_EQ(dom.ToString(a0.args[1].constant), "abc");
+  const Atom& a1 = rule.disjuncts[1].atoms[0];
+  EXPECT_EQ(dom.ToString(a1.args[1].constant), "42");
+}
+
+TEST(Parser, IndicatorDesugarsToCondition) {
+  Domain dom;
+  auto r = ParseProgram("L(X) :- [X = a] ; L(Z) * E(Z, X).", &dom);
+  ASSERT_TRUE(r.ok());
+  const Rule& rule = r.value().rules()[0];
+  ASSERT_EQ(rule.disjuncts.size(), 2u);
+  EXPECT_TRUE(rule.disjuncts[0].atoms.empty());
+  ASSERT_EQ(rule.disjuncts[0].conditions.size(), 1u);
+  EXPECT_EQ(rule.disjuncts[0].conditions[0].kind,
+            Condition::Kind::kCompare);
+  EXPECT_EQ(rule.disjuncts[0].conditions[0].op, CmpOp::kEq);
+}
+
+TEST(Parser, BracedConditional) {
+  Domain dom;
+  auto r = ParseProgram("T(X) :- { C(Y) | E(X, Y), X != Y }.", &dom);
+  ASSERT_TRUE(r.ok());
+  const SumProduct& sp = r.value().rules()[0].disjuncts[0];
+  EXPECT_EQ(sp.atoms.size(), 1u);
+  ASSERT_EQ(sp.conditions.size(), 2u);
+  EXPECT_EQ(sp.conditions[0].kind, Condition::Kind::kBoolAtom);
+  EXPECT_EQ(sp.conditions[1].op, CmpOp::kNe);
+}
+
+TEST(Parser, NegatedAtomAndNegatedCondition) {
+  Domain dom;
+  auto r = ParseProgram("W(X) :- { !W(Y) | E(X,Y), !Blocked(X) }.", &dom);
+  ASSERT_TRUE(r.ok());
+  const SumProduct& sp = r.value().rules()[0].disjuncts[0];
+  EXPECT_TRUE(sp.atoms[0].negated);
+  EXPECT_EQ(sp.conditions[1].kind, Condition::Kind::kNegBoolAtom);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  Domain dom;
+  auto r = ParseProgram(R"(
+    // a line comment
+    % another comment style
+    edb E/2.   // trailing
+    T(X,Y) :- E(X,Y).
+  )",
+                        &dom);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rules().size(), 1u);
+}
+
+TEST(Parser, RoundTripsThroughToString) {
+  Domain dom;
+  const char* text =
+      "edb E/2. bedb B/1. idb T/2. "
+      "T(X,Y) :- E(X,Y) ; { T(X,Z) * E(Z,Y) | B(Z), X != Y }.";
+  auto r = ParseProgram(text, &dom);
+  ASSERT_TRUE(r.ok());
+  std::string printed = r.value().ToString();
+  Domain dom2;
+  auto r2 = ParseProgram(printed, &dom2);
+  ASSERT_TRUE(r2.ok()) << "re-parse failed on:\n" << printed;
+  EXPECT_EQ(r2.value().ToString(), printed);
+}
+
+TEST(Parser, ErrorMissingDot) {
+  Domain dom;
+  auto r = ParseProgram("T(X) :- E(X, Y)", &dom);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kParseError);
+}
+
+TEST(Parser, ErrorArityMismatch) {
+  Domain dom;
+  auto r = ParseProgram("edb E/2. T(X) :- E(X).", &dom);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, ErrorStrayToken) {
+  Domain dom;
+  auto r = ParseProgram("T(X) :@ E(X).", &dom);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, ErrorUnterminatedBrace) {
+  Domain dom;
+  auto r = ParseProgram("T(X) :- { E(X,Y) | B(Y) .", &dom);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, NegativeIntegerConstants) {
+  Domain dom;
+  auto r = ParseProgram("T(X) :- { V(X) | X >= -3 }.", &dom);
+  ASSERT_TRUE(r.ok());
+  const Condition& c = r.value().rules()[0].disjuncts[0].conditions[0];
+  EXPECT_EQ(*dom.AsInt(c.rhs.constant), -3);
+}
+
+TEST(Parser, UnitFactorIsNeutral) {
+  Domain dom;
+  auto r = ParseProgram("T(X) :- 1 * E(X, X).", &dom);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rules()[0].disjuncts[0].atoms.size(), 1u);
+}
+
+}  // namespace
+}  // namespace datalogo

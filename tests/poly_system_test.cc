@@ -1,0 +1,179 @@
+// Polynomial systems (Sec. 4.3/5): the x :- 1 + c·x litmus program, the
+// Theorem 5.12 convergence bounds, Example 5.15, and the recursive-
+// variable analysis of Sec. 5.4 (Proposition 5.16).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+template <Pops P>
+PolySystem<P> OnePlusCx(typename P::Value c) {
+  // x :- 1 + c·x (Eq. 29).
+  PolySystem<P> sys(1);
+  sys.poly(0).Add(Monomial<P>{P::One(), {}, {}});
+  sys.poly(0).Add(Monomial<P>{std::move(c), {{0, 1}}, {}});
+  return sys;
+}
+
+TEST(PolySystem, OnePlusCxConvergesOnTrop) {
+  auto sys = OnePlusCx<TropS>(2.0);
+  auto r = sys.NaiveIterate(100);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.values[0], 0.0);  // 1 ⊕ 2⊗0 = min(0, 2) = 0
+  EXPECT_LE(r.steps, 2);
+}
+
+TEST(PolySystem, OnePlusCxDivergesOnNaturals) {
+  // c = 2: f^(q)(0) = 1 + 2 + … + 2^{q-1} → ∞ (the Sec. 5 opener).
+  auto sys = OnePlusCx<NatS>(2);
+  auto r = sys.NaiveIterate(60);
+  EXPECT_FALSE(r.converged);
+  // But c = 0 converges: x = 1. (The monomial 0·x is still present; over
+  // the semiring N it is inert.)
+  auto sys0 = OnePlusCx<NatS>(0);
+  auto r0 = sys0.NaiveIterate(10);
+  ASSERT_TRUE(r0.converged);
+  EXPECT_EQ(r0.values[0], 1u);
+}
+
+TEST(PolySystem, OnePlusCxStabilityIndexOnTropP) {
+  // Over Trop+_p the fixpoint of x = 1 ⊕ c⊗x collects the p+1 cheapest
+  // path lengths 0, c, 2c, …; it must converge within p+2 steps
+  // (Lemma 5.11(b) for linear f with p-stable c).
+  using T = TropPS<3>;
+  auto sys = OnePlusCx<T>(T::FromScalar(5.0));
+  auto r = sys.NaiveIterate(100);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(T::Eq(r.values[0], T::Value{0, 5, 10, 15}));
+  EXPECT_LE(static_cast<uint64_t>(r.steps), LinearConvergenceBound(3, 1));
+}
+
+TEST(PolySystem, QuadraticUnivariateOverTropP) {
+  // f(x) = b + a·x² (Example 5.5 shape) over the p-stable Trop+_p:
+  // Lemma 5.11(c) gives stability index ≤ p + 2.
+  for (int budget_p : {0, 1, 2, 3}) {
+    auto run = [&](auto tag) {
+      using T = decltype(tag);
+      PolySystem<T> sys(1);
+      sys.poly(0).Add(Monomial<T>{T::FromScalar(1.0), {}, {}});       // b
+      sys.poly(0).Add(Monomial<T>{T::FromScalar(2.0), {{0, 2}}, {}});  // a·x²
+      auto r = sys.NaiveIterate(1000);
+      ASSERT_TRUE(r.converged);
+      EXPECT_LE(r.steps, budget_p + 2);
+    };
+    if (budget_p == 0) run(TropPS<0>{});
+    if (budget_p == 1) run(TropPS<1>{});
+    if (budget_p == 2) run(TropPS<2>{});
+    if (budget_p == 3) run(TropPS<3>{});
+  }
+}
+
+TEST(PolySystem, TheoremBoundsRespectedOnRandomSystems) {
+  // Random linear systems over Trop+_p must converge within
+  // Σ_{i=1..N}(p+1)^i (Theorem 5.12). Exercise several (p, N).
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> w(0.5, 5.0);
+  auto run = [&](auto tag, int p) {
+    using T = decltype(tag);
+    for (int n : {1, 2, 3, 4}) {
+      PolySystem<T> sys(n);
+      for (int i = 0; i < n; ++i) {
+        sys.poly(i).Add(Monomial<T>{T::FromScalar(w(rng)), {}, {}});
+        for (int j = 0; j < n; ++j) {
+          if ((i + j) % 2 == 0) {
+            sys.poly(i).Add(
+                Monomial<T>{T::FromScalar(w(rng)), {{j, 1}}, {}});
+          }
+        }
+      }
+      ASSERT_TRUE(sys.IsLinear());
+      auto r = sys.NaiveIterate(1 << 20);
+      ASSERT_TRUE(r.converged) << "p=" << p << " n=" << n;
+      EXPECT_LE(static_cast<uint64_t>(r.steps), sys.ConvergenceBound(p))
+          << "p=" << p << " n=" << n;
+    }
+  };
+  run(TropPS<0>{}, 0);
+  run(TropPS<1>{}, 1);
+  run(TropPS<2>{}, 2);
+}
+
+TEST(PolySystem, ZeroStableSystemsConvergeInNSteps) {
+  // Theorem 5.12(2): over a 0-stable semiring every polynomial system is
+  // N-stable. Random quadratic systems over Trop+.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> w(0.5, 5.0);
+  for (int n : {1, 2, 4, 8, 16}) {
+    PolySystem<TropS> sys(n);
+    for (int i = 0; i < n; ++i) {
+      sys.poly(i).Add(Monomial<TropS>{w(rng), {}, {}});
+      int j = static_cast<int>(rng() % n);
+      int k = static_cast<int>(rng() % n);
+      sys.poly(i).Add(Monomial<TropS>{w(rng), {{j, 1}}, {}});
+      Monomial<TropS> quad{w(rng), {{j, 1}, {k, 1}}, {}};
+      quad.Normalize();
+      sys.poly(i).Add(quad);
+    }
+    auto r = sys.NaiveIterate(10 * n + 10);
+    ASSERT_TRUE(r.converged) << n;
+    EXPECT_LE(r.steps, n) << n;
+  }
+}
+
+TEST(PolySystem, RecursiveVariableAnalysis) {
+  // x0 :- c          (non-recursive)
+  // x1 :- x1 + x0    (on a cycle)
+  // x2 :- x1         (reachable from a cycle → recursive)
+  PolySystem<TropS> sys(3);
+  sys.poly(0).Add(Monomial<TropS>{3.0, {}, {}});
+  sys.poly(1).Add(Monomial<TropS>{TropS::One(), {{1, 1}}, {}});
+  sys.poly(1).Add(Monomial<TropS>{TropS::One(), {{0, 1}}, {}});
+  sys.poly(2).Add(Monomial<TropS>{TropS::One(), {{1, 1}}, {}});
+  auto rec = sys.RecursiveVars();
+  EXPECT_FALSE(rec[0]);
+  EXPECT_TRUE(rec[1]);
+  EXPECT_TRUE(rec[2]);
+}
+
+TEST(PolySystem, RecursiveVarsStayInCoreSemiring) {
+  // Proposition 5.16 on the lifted naturals: the recursive variable's
+  // iterates remain in N⊥+⊥ = {⊥} while the non-recursive one escapes.
+  using L = Lifted<NatS>;
+  PolySystem<L> sys(2);
+  // x0 :- 5 (non-recursive); x1 :- x1 + 1 (recursive).
+  sys.poly(0).Add(Monomial<L>{L::Lift(5), {}, {}});
+  sys.poly(1).Add(Monomial<L>{L::One(), {{1, 1}}, {}});
+  auto r = sys.NaiveIterate(10);
+  ASSERT_TRUE(r.converged);  // ⊥ is a fixpoint of x ↦ x + 1 in N⊥
+  EXPECT_TRUE(L::Eq(r.values[0], L::Lift(5)));
+  EXPECT_TRUE(L::Eq(r.values[1], L::Bottom()));
+}
+
+TEST(PolySystem, Example515AbsorptionIn1StableSemiring) {
+  // f(x) = a0 + a2 x² + a3 x³ + a4 x⁴ over a 1-stable semiring converges
+  // with stability index ≥ 3 but ≤ p + 2 = 3 (Example 5.15). Trop+_1 is
+  // 1-stable.
+  using T = TropPS<1>;
+  PolySystem<T> sys(1);
+  sys.poly(0).Add(Monomial<T>{T::FromScalar(1.0), {}, {}});
+  sys.poly(0).Add(Monomial<T>{T::FromScalar(2.0), {{0, 2}}, {}});
+  sys.poly(0).Add(Monomial<T>{T::FromScalar(3.0), {{0, 3}}, {}});
+  sys.poly(0).Add(Monomial<T>{T::FromScalar(4.0), {{0, 4}}, {}});
+  auto r = sys.NaiveIterate(100);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.steps, 3);
+}
+
+TEST(PolySystem, GeneralBoundHelpers) {
+  EXPECT_EQ(GeneralConvergenceBound(0, 3), 2u + 4u + 8u);
+  EXPECT_EQ(LinearConvergenceBound(1, 3), 2u + 4u + 8u);
+  EXPECT_EQ(LinearConvergenceBound(0, 4), 4u);
+  EXPECT_EQ(GeneralConvergenceBound(3, 64), kBoundInf);  // saturates
+}
+
+}  // namespace
+}  // namespace datalogo

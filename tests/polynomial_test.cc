@@ -1,0 +1,82 @@
+// Polynomials over POPS: explicit monomials, evaluation, degrees.
+#include <gtest/gtest.h>
+
+#include "src/poly/polynomial.h"
+#include "src/semiring/lifted.h"
+#include "src/semiring/reals.h"
+#include "src/semiring/three.h"
+#include "src/semiring/tropical.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Polynomial, EmptySumEvaluatesToZero) {
+  Polynomial<TropS> f;
+  EXPECT_EQ(f.Evaluate({1.0, 2.0}), TropS::Inf());
+}
+
+TEST(Polynomial, ConstantAndTerm) {
+  auto c = Polynomial<TropS>::Constant(5.0);
+  EXPECT_EQ(c.Evaluate({}), 5.0);
+  auto t = Polynomial<TropS>::Term(2.0, 0);
+  EXPECT_EQ(t.Evaluate({3.0}), 5.0);  // 2 ⊗ 3 = 2+3
+}
+
+TEST(Polynomial, MonomialPowers) {
+  // 1 ⊗ x² over Trop+ = 2x.
+  Monomial<TropS> m{TropS::One(), {{0, 2}}, {}};
+  EXPECT_EQ(m.Evaluate({3.0}), 6.0);
+  EXPECT_EQ(m.Degree(), 2);
+}
+
+TEST(Polynomial, ExplicitZeroCoefficientDiffersFromAbsence) {
+  // Over R⊥: f(x) = 0·x is NOT the empty polynomial: f(⊥) = ⊥ ≠ 0.
+  using L = Lifted<RealS>;
+  Polynomial<L> f = Polynomial<L>::Term(L::Zero(), 0);
+  EXPECT_TRUE(L::Eq(f.Evaluate({L::Bottom()}), L::Bottom()));
+  Polynomial<L> g;  // no monomials
+  EXPECT_TRUE(L::Eq(g.Evaluate({L::Bottom()}), L::Zero()));
+}
+
+TEST(Polynomial, NormalizeMergesRepeatedVariables) {
+  Monomial<TropS> m{TropS::One(), {{1, 1}, {0, 1}, {1, 2}}, {}};
+  m.Normalize();
+  EXPECT_EQ(m.powers, (std::vector<std::pair<int, int>>{{0, 1}, {1, 3}}));
+}
+
+TEST(Polynomial, LinearityAndDegree) {
+  Polynomial<TropS> f;
+  f.Add(Monomial<TropS>{1.0, {}, {}});
+  f.Add(Monomial<TropS>{2.0, {{0, 1}}, {}});
+  EXPECT_TRUE(f.IsLinear());
+  EXPECT_EQ(f.Degree(), 1);
+  f.Add(Monomial<TropS>{3.0, {{0, 1}, {1, 1}}, {}});
+  EXPECT_FALSE(f.IsLinear());
+  EXPECT_EQ(f.Degree(), 2);
+}
+
+TEST(Polynomial, DependsOnSeesNegations) {
+  Monomial<ThreeS> m{ThreeS::One(), {}, {2}};
+  Polynomial<ThreeS> f;
+  f.Add(m);
+  EXPECT_TRUE(f.DependsOn(2));
+  EXPECT_FALSE(f.DependsOn(0));
+  EXPECT_EQ(f.Degree(), 1);  // the Not factor counts toward degree
+}
+
+TEST(Polynomial, NegationEvaluatesThroughNot) {
+  // f(x) = 1 ∧ not(x) over THREE.
+  Monomial<ThreeS> m{ThreeS::One(), {}, {0}};
+  EXPECT_EQ(m.Evaluate({Kleene::kFalse}), Kleene::kTrue);
+  EXPECT_EQ(m.Evaluate({Kleene::kTrue}), Kleene::kFalse);
+  EXPECT_EQ(m.Evaluate({Kleene::kBot}), Kleene::kBot);
+}
+
+TEST(Polynomial, ToStringReadable) {
+  Polynomial<TropS> f;
+  f.Add(Monomial<TropS>{1.5, {{0, 1}, {1, 2}}, {}});
+  EXPECT_EQ(f.ToString(), "1.5*x0*x1^2");
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,273 @@
+// Typed law tests: every POPS in the library must satisfy the Def. 2.1 /
+// Def. 2.3 axioms on a panel of sample values — commutative monoids,
+// distributivity, monotonicity of ⊕/⊗, ⊥ minimality, and (when claimed)
+// absorption, idempotence and the natural-order coherence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+/// Sample-value panels per POPS.
+template <typename P>
+struct SamplePanel;
+
+template <>
+struct SamplePanel<BoolS> {
+  static std::vector<bool> Values() { return {false, true}; }
+};
+template <>
+struct SamplePanel<NatS> {
+  static std::vector<uint64_t> Values() {
+    return {0, 1, 2, 7, 100, NatS::kInf};
+  }
+};
+template <>
+struct SamplePanel<TropS> {
+  static std::vector<double> Values() {
+    return {0.0, 1.0, 2.5, 100.0, TropS::Inf()};
+  }
+};
+template <>
+struct SamplePanel<TropNatS> {
+  static std::vector<uint64_t> Values() { return {0, 1, 5, TropNatS::kInf}; }
+};
+template <>
+struct SamplePanel<MaxPlusS> {
+  static std::vector<double> Values() {
+    return {MaxPlusS::NegInf(), -2.0, 0.0, 3.5};
+  }
+};
+template <>
+struct SamplePanel<ViterbiS> {
+  static std::vector<double> Values() { return {0.0, 0.25, 0.5, 1.0}; }
+};
+template <>
+struct SamplePanel<FuzzyS> {
+  static std::vector<double> Values() { return {0.0, 0.25, 0.5, 1.0}; }
+};
+template <>
+struct SamplePanel<TropPS<2>> {
+  static std::vector<TropPS<2>::Value> Values() {
+    using T = TropPS<2>;
+    return {T::Zero(), T::One(), T::FromScalar(3.0),
+            T::Value{1.0, 2.0, 5.0}, T::Value{3.0, 7.0, 9.0},
+            T::Value{3.0, 7.0, T::Inf()}};
+  }
+};
+template <>
+struct SamplePanel<Lifted<RealS>> {
+  static std::vector<Lifted<RealS>::Value> Values() {
+    using L = Lifted<RealS>;
+    return {L::Bottom(), L::Zero(), L::One(), L::Lift(-2.5), L::Lift(7.0)};
+  }
+};
+template <>
+struct SamplePanel<Lifted<NatS>> {
+  static std::vector<Lifted<NatS>::Value> Values() {
+    using L = Lifted<NatS>;
+    return {L::Bottom(), L::Zero(), L::One(), L::Lift(5)};
+  }
+};
+template <>
+struct SamplePanel<Completed<NatS>> {
+  static std::vector<Completed<NatS>::Value> Values() {
+    using C = Completed<NatS>;
+    return {C::Bottom(), C::Top(), C::Zero(), C::One(), C::Lift(9)};
+  }
+};
+template <>
+struct SamplePanel<ThreeS> {
+  static std::vector<Kleene> Values() {
+    return {Kleene::kBot, Kleene::kFalse, Kleene::kTrue};
+  }
+};
+template <>
+struct SamplePanel<FourS> {
+  static std::vector<Belnap> Values() {
+    return {Belnap::kBot, Belnap::kFalse, Belnap::kTrue, Belnap::kTop};
+  }
+};
+template <>
+struct SamplePanel<ProductPops<BoolS, TropS>> {
+  static std::vector<std::pair<bool, double>> Values() {
+    return {{false, TropS::Inf()}, {true, 0.0}, {true, 3.0}, {false, 1.0}};
+  }
+};
+template <>
+struct SamplePanel<PosBoolS> {
+  static std::vector<PosBoolS::Value> Values() {
+    return {PosBoolS::Zero(), PosBoolS::One(), PosBoolS::Var("x"),
+            PosBoolS::Var("y"),
+            PosBoolS::Times(PosBoolS::Var("x"), PosBoolS::Var("y")),
+            PosBoolS::Plus(PosBoolS::Var("x"), PosBoolS::Var("y"))};
+  }
+};
+template <>
+struct SamplePanel<ProvPolyS> {
+  static std::vector<ProvPolyS::Value> Values() {
+    auto a = ProvPolyS::Var("a"), b = ProvPolyS::Var("b");
+    return {ProvPolyS::Zero(), ProvPolyS::One(), a, b,
+            ProvPolyS::Plus(a, b), ProvPolyS::Times(a, b),
+            ProvPolyS::Plus(a, a)};
+  }
+};
+
+template <typename P>
+class PopsLawsTest : public ::testing::Test {};
+
+using AllPops = ::testing::Types<
+    BoolS, NatS, TropS, TropNatS, MaxPlusS, ViterbiS, FuzzyS, TropPS<2>,
+    Lifted<RealS>, Lifted<NatS>, Completed<NatS>, ThreeS, FourS,
+    ProductPops<BoolS, TropS>, PosBoolS, ProvPolyS>;
+TYPED_TEST_SUITE(PopsLawsTest, AllPops);
+
+TYPED_TEST(PopsLawsTest, AdditiveCommutativeMonoid) {
+  using P = TypeParam;
+  auto vs = SamplePanel<P>::Values();
+  for (const auto& a : vs) {
+    EXPECT_TRUE(P::Eq(P::Plus(a, P::Zero()), a));
+    for (const auto& b : vs) {
+      EXPECT_TRUE(P::Eq(P::Plus(a, b), P::Plus(b, a)));
+      for (const auto& c : vs) {
+        EXPECT_TRUE(P::Eq(P::Plus(P::Plus(a, b), c),
+                          P::Plus(a, P::Plus(b, c))));
+      }
+    }
+  }
+}
+
+TYPED_TEST(PopsLawsTest, MultiplicativeCommutativeMonoid) {
+  using P = TypeParam;
+  auto vs = SamplePanel<P>::Values();
+  for (const auto& a : vs) {
+    EXPECT_TRUE(P::Eq(P::Times(a, P::One()), a));
+    for (const auto& b : vs) {
+      EXPECT_TRUE(P::Eq(P::Times(a, b), P::Times(b, a)));
+      for (const auto& c : vs) {
+        EXPECT_TRUE(P::Eq(P::Times(P::Times(a, b), c),
+                          P::Times(a, P::Times(b, c))));
+      }
+    }
+  }
+}
+
+TYPED_TEST(PopsLawsTest, Distributivity) {
+  using P = TypeParam;
+  auto vs = SamplePanel<P>::Values();
+  for (const auto& a : vs) {
+    for (const auto& b : vs) {
+      for (const auto& c : vs) {
+        EXPECT_TRUE(P::Eq(P::Times(a, P::Plus(b, c)),
+                          P::Plus(P::Times(a, b), P::Times(a, c))))
+            << P::ToString(a) << " " << P::ToString(b) << " "
+            << P::ToString(c);
+      }
+    }
+  }
+}
+
+TYPED_TEST(PopsLawsTest, PartialOrderAxioms) {
+  using P = TypeParam;
+  auto vs = SamplePanel<P>::Values();
+  for (const auto& a : vs) {
+    EXPECT_TRUE(P::Leq(a, a));
+    EXPECT_TRUE(P::Leq(P::Bottom(), a));  // ⊥ is the minimum
+    for (const auto& b : vs) {
+      if (P::Leq(a, b) && P::Leq(b, a)) {
+        EXPECT_TRUE(P::Eq(a, b));  // antisymmetry
+      }
+      for (const auto& c : vs) {
+        if (P::Leq(a, b) && P::Leq(b, c)) {
+          EXPECT_TRUE(P::Leq(a, c));  // transitivity
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(PopsLawsTest, OperatorsMonotoneUnderOrder) {
+  using P = TypeParam;
+  auto vs = SamplePanel<P>::Values();
+  for (const auto& a : vs) {
+    for (const auto& a2 : vs) {
+      if (!P::Leq(a, a2)) continue;
+      for (const auto& b : vs) {
+        for (const auto& b2 : vs) {
+          if (!P::Leq(b, b2)) continue;
+          EXPECT_TRUE(P::Leq(P::Plus(a, b), P::Plus(a2, b2)));
+          EXPECT_TRUE(P::Leq(P::Times(a, b), P::Times(a2, b2)));
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(PopsLawsTest, ClaimedFlagsHold) {
+  using P = TypeParam;
+  auto vs = SamplePanel<P>::Values();
+  for (const auto& a : vs) {
+    if constexpr (P::kIsSemiring) {
+      EXPECT_TRUE(P::Eq(P::Times(a, P::Zero()), P::Zero()))
+          << "absorption fails on " << P::ToString(a);
+    }
+    if constexpr (P::kIdempotentPlus) {
+      EXPECT_TRUE(P::Eq(P::Plus(a, a), a));
+    }
+    if constexpr (P::kNaturallyOrdered) {
+      EXPECT_TRUE(P::Eq(P::Bottom(), P::Zero()));
+      // a ⊑ a ⊕ b (the natural order contains the additive preorder).
+      for (const auto& b : vs) {
+        EXPECT_TRUE(P::Leq(a, P::Plus(a, b)))
+            << P::ToString(a) << " vs " << P::ToString(P::Plus(a, b));
+      }
+    }
+    // Strict multiplication: x ⊗ ⊥ = ⊥. The paper assumes strictness
+    // "unless otherwise stated"; THREE and FOUR are the stated exceptions
+    // (0 ∧ ⊥ = 0 is precisely what distinguishes THREE from the lifted
+    // Booleans B⊥, Sec. 2.5.2).
+    if constexpr (!std::is_same_v<P, ThreeS> && !std::is_same_v<P, FourS>) {
+      EXPECT_TRUE(P::Eq(P::Times(a, P::Bottom()), P::Bottom()))
+          << "strictness fails on " << P::ToString(a);
+    } else {
+      EXPECT_TRUE(P::Eq(P::Times(P::Zero(), P::Bottom()), P::Zero()));
+    }
+  }
+}
+
+/// Dioid difference-operator laws (Lemma 6.3).
+template <typename P>
+class DioidMinusTest : public ::testing::Test {};
+
+using AllDioids =
+    ::testing::Types<BoolS, TropS, TropNatS, MaxPlusS, ViterbiS, FuzzyS,
+                     PosBoolS>;
+TYPED_TEST_SUITE(DioidMinusTest, AllDioids);
+
+TYPED_TEST(DioidMinusTest, MinusSatisfiesLemma63) {
+  using P = TypeParam;
+  static_assert(CompleteDistributiveDioid<P>);
+  auto vs = SamplePanel<P>::Values();
+  for (const auto& a : vs) {
+    for (const auto& b : vs) {
+      // Eq. (59): a ⊑ b implies a ⊕ (b ⊖ a) = b.
+      if (P::Leq(a, b)) {
+        EXPECT_TRUE(P::Eq(P::Plus(a, P::Minus(b, a)), b))
+            << P::ToString(a) << " " << P::ToString(b);
+      }
+      // b ⊖ a ⊑ b (the difference never overshoots).
+      EXPECT_TRUE(P::Leq(P::Minus(b, a), b));
+      for (const auto& c : vs) {
+        // Eq. (60): (a ⊕ b) ⊖ (a ⊕ c) = b ⊖ (a ⊕ c).
+        EXPECT_TRUE(P::Eq(P::Minus(P::Plus(a, b), P::Plus(a, c)),
+                          P::Minus(b, P::Plus(a, c))));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,143 @@
+// Stability of semiring elements (Definition 5.1) and the paper's
+// stability claims: Trop+ is 0-stable, Trop+_p is exactly p-stable
+// (Proposition 5.3), Trop+_{≤η} is stable but not uniformly
+// (Proposition 5.4), N and MaxPlus are not stable, PosBool is 0-stable.
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Stability, BooleanIsZeroStable) {
+  EXPECT_EQ(ElementStabilityIndex<BoolS>(true, 10), 0);
+  EXPECT_EQ(ElementStabilityIndex<BoolS>(false, 10), 0);
+}
+
+TEST(Stability, TropIsZeroStable) {
+  // min(0, x) = 0 for x ∈ R+ ∪ {∞}: 1 ⊕ u = 1.
+  for (double u : {0.0, 0.5, 3.0, TropS::Inf()}) {
+    EXPECT_EQ(ElementStabilityIndex<TropS>(u, 10), 0) << u;
+  }
+}
+
+TEST(Stability, NaturalsAreNotStable) {
+  EXPECT_EQ(ElementStabilityIndex<NatS>(0, 10), 0);  // 0 is stable
+  EXPECT_EQ(ElementStabilityIndex<NatS>(1, 100), std::nullopt);
+  // True N has no stable element > 1; our carrier saturates to ∞ around
+  // 2^64, so probe with a budget below the saturation horizon (2^50).
+  EXPECT_EQ(ElementStabilityIndex<NatS>(2, 50), std::nullopt);
+}
+
+TEST(Stability, MaxPlusPositiveElementsDiverge) {
+  EXPECT_EQ(ElementStabilityIndex<MaxPlusS>(0.0, 10), 0);
+  EXPECT_EQ(ElementStabilityIndex<MaxPlusS>(-1.0, 10), 0);
+  EXPECT_EQ(ElementStabilityIndex<MaxPlusS>(1.0, 200), std::nullopt);
+}
+
+TEST(Stability, ViterbiAndFuzzyAreZeroStable) {
+  for (double u : {0.0, 0.3, 0.9, 1.0}) {
+    EXPECT_EQ(ElementStabilityIndex<ViterbiS>(u, 10), 0) << u;
+    EXPECT_EQ(ElementStabilityIndex<FuzzyS>(u, 10), 0) << u;
+  }
+}
+
+TEST(Stability, PosBoolIsZeroStable) {
+  auto x = PosBoolS::Var("x");
+  auto xy = PosBoolS::Times(PosBoolS::Var("x"), PosBoolS::Var("y"));
+  EXPECT_EQ(ElementStabilityIndex<PosBoolS>(x, 10), 0);
+  EXPECT_EQ(ElementStabilityIndex<PosBoolS>(xy, 10), 0);
+}
+
+TEST(Stability, ProvenancePolynomialsAreNotStable) {
+  EXPECT_EQ(ElementStabilityIndex<ProvPolyS>(ProvPolyS::Var("a"), 50),
+            std::nullopt);
+}
+
+// Proposition 5.3: every element of Trop+_p is p-stable, and the unit 1_p
+// attains exactly index p.
+template <int kP>
+void CheckTropPStability() {
+  using T = TropPS<kP>;
+  // The unit element has stability index exactly p.
+  auto idx = ElementStabilityIndex<T>(T::One(), 4 * kP + 8);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, kP);
+  // A panel of other elements stabilizes within p.
+  std::vector<typename T::Value> panel = {T::Zero(), T::FromScalar(1.0),
+                                          T::FromScalar(0.0)};
+  typename T::Value mixed = T::Zero();
+  for (int i = 0; i <= kP; ++i) mixed[i] = 1.0 + i;
+  panel.push_back(mixed);
+  for (const auto& u : panel) {
+    auto i = ElementStabilityIndex<T>(u, 4 * kP + 8);
+    ASSERT_TRUE(i.has_value()) << T::ToString(u);
+    EXPECT_LE(*i, kP) << T::ToString(u);
+  }
+}
+
+TEST(Stability, TropPIsExactlyPStable) {
+  CheckTropPStability<0>();
+  CheckTropPStability<1>();
+  CheckTropPStability<2>();
+  CheckTropPStability<3>();
+  CheckTropPStability<5>();
+}
+
+TEST(Stability, TropEtaStableButNotUniformly) {
+  // Proposition 5.4: {x0} has stability index ⌈η/x0⌉; as x0 shrinks the
+  // index grows without bound, so no uniform p exists.
+  TropEtaS::ScopedEta eta(6.0);
+  struct Case {
+    double x0;
+    int expected;
+  };
+  for (const Case& c : {Case{6.0, 1}, Case{3.0, 2}, Case{2.0, 3},
+                        Case{1.0, 6}, Case{0.5, 12}}) {
+    auto idx =
+        ElementStabilityIndex<TropEtaS>(TropEtaS::FromScalar(c.x0), 100);
+    ASSERT_TRUE(idx.has_value()) << c.x0;
+    EXPECT_EQ(*idx, c.expected) << c.x0;
+  }
+  // {0} is 0-stable.
+  EXPECT_EQ(ElementStabilityIndex<TropEtaS>(TropEtaS::FromScalar(0.0), 10),
+            0);
+}
+
+TEST(Stability, StarTruncatedMatchesDefinition) {
+  // u^(p) over Trop+_1 with u = {{2, 3}}: 1 ⊕ u ⊕ u² = {{0, 2}} after the
+  // min_1 of {0, ∞} ⊎ {2,3} ⊎ {4,5,5,6}.
+  using T = TropPS<1>;
+  T::Value u = {2.0, 3.0};
+  T::Value s2 = StarTruncated<T>(u, 2);
+  EXPECT_TRUE(T::Eq(s2, T::Value{0.0, 2.0}));
+  // And 1-stability: u^(1) = u^(2).
+  EXPECT_TRUE(T::Eq(StarTruncated<T>(u, 1), s2));
+}
+
+TEST(Stability, PaperExample29Arithmetic) {
+  // {{3,7,9}} ⊕₂ {{3,7,7}} = {{3,3,7}}; {{3,7,9}} ⊗₂ {{3,7,7}} = {{6,10,10}}.
+  using T = TropPS<2>;
+  T::Value a = {3, 7, 9}, b = {3, 7, 7};
+  EXPECT_TRUE(T::Eq(T::Plus(a, b), T::Value{3, 3, 7}));
+  EXPECT_TRUE(T::Eq(T::Times(a, b), T::Value{6, 10, 10}));
+}
+
+TEST(Stability, PaperExample210Arithmetic) {
+  // η = 6.5: {3,7} ⊕ {5,9,10} = {3,5,7,9}; {1,6} ⊗ {1,2,3} = {2,3,4,7,8}.
+  TropEtaS::ScopedEta eta(6.5);
+  EXPECT_EQ(TropEtaS::Plus({3, 7}, {5, 9, 10}),
+            (TropEtaS::Value{3, 5, 7, 9}));
+  EXPECT_EQ(TropEtaS::Times({1, 6}, {1, 2, 3}),
+            (TropEtaS::Value{2, 3, 4, 7, 8}));
+}
+
+TEST(Stability, AllPStableHelper) {
+  std::vector<double> good = {0.0, 1.0, TropS::Inf()};
+  EXPECT_TRUE(AllPStable<TropS>(good.begin(), good.end(), 0));
+  std::vector<uint64_t> bad = {0, 2};
+  EXPECT_FALSE(AllPStable<NatS>(bad.begin(), bad.end(), 5));
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,79 @@
+// Stratification: SCC condensation of the IDB dependency graph.
+#include <gtest/gtest.h>
+
+#include "src/datalog/parser.h"
+#include "src/datalog/stratify.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Stratify, SingleRecursivePredicateIsOneStratum) {
+  Domain dom;
+  auto r = ParseProgram("T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).", &dom);
+  ASSERT_TRUE(r.ok());
+  Stratification s = StratifyProgram(r.value());
+  EXPECT_EQ(s.num_strata, 1);
+  EXPECT_EQ(s.strata_rules[0].size(), 1u);
+}
+
+TEST(Stratify, ChainOfDependencies) {
+  Domain dom;
+  auto r = ParseProgram(R"(
+    A(X) :- E(X, X).
+    B(X) :- A(X).
+    C(X) :- B(X) ; C(X) * B(X).
+  )",
+                        &dom);
+  ASSERT_TRUE(r.ok());
+  const Program& p = r.value();
+  Stratification s = StratifyProgram(p);
+  EXPECT_EQ(s.num_strata, 3);
+  EXPECT_LT(s.pred_stratum[p.FindPredicate("A")],
+            s.pred_stratum[p.FindPredicate("B")]);
+  EXPECT_LT(s.pred_stratum[p.FindPredicate("B")],
+            s.pred_stratum[p.FindPredicate("C")]);
+}
+
+TEST(Stratify, MutualRecursionSharesStratum) {
+  Domain dom;
+  auto r = ParseProgram(R"(
+    Even(X) :- [X = 0] ; { Odd(Y) | S(Y, X) }.
+    Odd(X) :- { Even(Y) | S(Y, X) }.
+    Top(X) :- Even(X).
+  )",
+                        &dom);
+  ASSERT_TRUE(r.ok());
+  const Program& p = r.value();
+  Stratification s = StratifyProgram(p);
+  EXPECT_EQ(s.pred_stratum[p.FindPredicate("Even")],
+            s.pred_stratum[p.FindPredicate("Odd")]);
+  EXPECT_GT(s.pred_stratum[p.FindPredicate("Top")],
+            s.pred_stratum[p.FindPredicate("Even")]);
+}
+
+TEST(Stratify, EdbsHaveNoStratum) {
+  Domain dom;
+  auto r = ParseProgram("edb E/2. T(X,Y) :- E(X,Y).", &dom);
+  ASSERT_TRUE(r.ok());
+  const Program& p = r.value();
+  Stratification s = StratifyProgram(p);
+  EXPECT_EQ(s.pred_stratum[p.FindPredicate("E")], -1);
+  EXPECT_EQ(s.pred_stratum[p.FindPredicate("T")], 0);
+}
+
+TEST(Stratify, RulesLandInHeadStratum) {
+  Domain dom;
+  auto r = ParseProgram(R"(
+    A(X) :- E(X, X).
+    B(X) :- A(X) * A(X).
+  )",
+                        &dom);
+  ASSERT_TRUE(r.ok());
+  Stratification s = StratifyProgram(r.value());
+  ASSERT_EQ(s.num_strata, 2);
+  EXPECT_EQ(s.strata_rules[0], (std::vector<int>{0}));
+  EXPECT_EQ(s.strata_rules[1], (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,135 @@
+// THREE and FOUR (Secs. 2.5.2 and 7.3): Kleene tables, knowledge order,
+// Not monotonicity, and Fitting's no-⊤-in-lfp property on FOUR.
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+TEST(Three, KleeneTruthTables) {
+  const Kleene B = Kleene::kBot, F = Kleene::kFalse, T = Kleene::kTrue;
+  // ∨ = max_t with 0 ≤t ⊥ ≤t 1.
+  EXPECT_EQ(ThreeS::Plus(F, B), B);
+  EXPECT_EQ(ThreeS::Plus(T, B), T);
+  EXPECT_EQ(ThreeS::Plus(F, T), T);
+  // ∧ = min_t — note 0 ∧ ⊥ = 0 (THREE ≠ B⊥).
+  EXPECT_EQ(ThreeS::Times(F, B), F);
+  EXPECT_EQ(ThreeS::Times(T, B), B);
+  EXPECT_EQ(ThreeS::Times(T, F), F);
+}
+
+TEST(Three, KnowledgeOrder) {
+  EXPECT_TRUE(ThreeS::Leq(Kleene::kBot, Kleene::kFalse));
+  EXPECT_TRUE(ThreeS::Leq(Kleene::kBot, Kleene::kTrue));
+  EXPECT_FALSE(ThreeS::Leq(Kleene::kFalse, Kleene::kTrue));
+  EXPECT_FALSE(ThreeS::Leq(Kleene::kTrue, Kleene::kFalse));
+}
+
+TEST(Three, NotIsMonotoneInKnowledgeOrder) {
+  const Kleene all[] = {Kleene::kBot, Kleene::kFalse, Kleene::kTrue};
+  for (Kleene a : all) {
+    for (Kleene b : all) {
+      if (ThreeS::Leq(a, b)) {
+        EXPECT_TRUE(ThreeS::Leq(ThreeS::Not(a), ThreeS::Not(b)));
+      }
+    }
+  }
+  EXPECT_EQ(ThreeS::Not(Kleene::kBot), Kleene::kBot);
+  EXPECT_EQ(ThreeS::Not(ThreeS::Not(Kleene::kFalse)), Kleene::kFalse);
+}
+
+TEST(Three, CoreSemiringIsIsomorphicToB) {
+  // THREE∨⊥ = {⊥, 1} (Sec. 2.5.2).
+  using C = CoreSemiring<ThreeS>;
+  EXPECT_EQ(C::Inject(Kleene::kFalse), Kleene::kBot);
+  EXPECT_EQ(C::Inject(Kleene::kBot), Kleene::kBot);
+  EXPECT_EQ(C::Inject(Kleene::kTrue), Kleene::kTrue);
+}
+
+TEST(Four, LatticeStructure) {
+  const Belnap B = Belnap::kBot, F = Belnap::kFalse, T = Belnap::kTrue,
+               Top = Belnap::kTop;
+  // Truth-order lub/glb (Fig. 5): ⊥ ∨t ⊤ = 1, ⊥ ∧t ⊤ = 0.
+  EXPECT_EQ(FourS::Plus(B, Top), T);
+  EXPECT_EQ(FourS::Times(B, Top), F);
+  EXPECT_EQ(FourS::Plus(F, B), B);
+  EXPECT_EQ(FourS::Times(T, Top), Top);
+  // Knowledge order.
+  EXPECT_TRUE(FourS::Leq(B, F));
+  EXPECT_TRUE(FourS::Leq(T, Top));
+  EXPECT_FALSE(FourS::Leq(F, T));
+  // Negation fixes ⊥ and ⊤.
+  EXPECT_EQ(FourS::Not(Top), Top);
+  EXPECT_EQ(FourS::Not(B), B);
+}
+
+TEST(Four, TopNeverAppearsInLeastFixpoint) {
+  // Fitting ([21] Prop. 7.1): iterating from ⊥ never manufactures ⊤.
+  // Win-move over FOUR on random graphs stays ⊤-free.
+  constexpr const char* kWinMove = R"(
+    bedb E/2.
+    idb W/1.
+    W(X) :- { !W(Y) | E(X, Y) }.
+  )";
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Domain dom;
+    auto prog = ParseProgram(kWinMove, &dom);
+    ASSERT_TRUE(prog.ok());
+    Graph g = RandomGraph(7, 12, seed);
+    std::vector<ConstId> ids = InternVertices(7, &dom);
+    EdbInstance<FourS> edb(prog.value());
+    LoadEdgesBool(g, ids, &edb.boolean(prog.value().FindPredicate("E")));
+    auto grounded = GroundProgram<FourS>(prog.value(), edb);
+    auto iter = grounded.NaiveIterate(200);
+    ASSERT_TRUE(iter.converged);
+    for (const Belnap& v : iter.values) {
+      EXPECT_NE(v, Belnap::kTop);
+    }
+  }
+}
+
+TEST(Four, AgreesWithThreeOnWinMove) {
+  // With no ⊤ inputs, FOUR's fixpoint projects onto THREE's.
+  constexpr const char* kWinMove = R"(
+    bedb E/2.
+    idb W/1.
+    W(X) :- { !W(Y) | E(X, Y) }.
+  )";
+  Domain dom;
+  auto prog = ParseProgram(kWinMove, &dom);
+  ASSERT_TRUE(prog.ok());
+  Graph g = RandomGraph(8, 16, /*seed=*/33);
+  std::vector<ConstId> ids = InternVertices(8, &dom);
+
+  EdbInstance<FourS> edb4(prog.value());
+  LoadEdgesBool(g, ids, &edb4.boolean(prog.value().FindPredicate("E")));
+  auto g4 = GroundProgram<FourS>(prog.value(), edb4);
+  auto r4 = g4.NaiveIterate(200);
+
+  EdbInstance<ThreeS> edb3(prog.value());
+  LoadEdgesBool(g, ids, &edb3.boolean(prog.value().FindPredicate("E")));
+  auto g3 = GroundProgram<ThreeS>(prog.value(), edb3);
+  auto r3 = g3.NaiveIterate(200);
+
+  ASSERT_TRUE(r4.converged && r3.converged);
+  ASSERT_EQ(r4.values.size(), r3.values.size());
+  auto project = [](Belnap b) {
+    switch (b) {
+      case Belnap::kBot:
+        return Kleene::kBot;
+      case Belnap::kFalse:
+        return Kleene::kFalse;
+      case Belnap::kTrue:
+        return Kleene::kTrue;
+      default:
+        return Kleene::kBot;  // unreachable in a lfp
+    }
+  };
+  for (std::size_t i = 0; i < r4.values.size(); ++i) {
+    EXPECT_EQ(project(r4.values[i]), r3.values[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace datalogo

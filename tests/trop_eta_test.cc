@@ -1,0 +1,93 @@
+// Trop+_{≤η} (Example 2.10): set arithmetic under the η-window, the
+// Eq. (16) identities, and order coherence.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/semiring/trop_eta.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+namespace {
+
+TEST(TropEta, NormalizeSortsDedupesAndCuts) {
+  TropEtaS::ScopedEta eta(2.0);
+  EXPECT_EQ(TropEtaS::Normalize({5, 3, 3, 4, 9}), (TropEtaS::Value{3, 4, 5}));
+  EXPECT_EQ(TropEtaS::Normalize({7}), (TropEtaS::Value{7}));
+}
+
+TEST(TropEta, EtaZeroIsTrop) {
+  TropEtaS::ScopedEta eta(0.0);
+  EXPECT_EQ(TropEtaS::Plus({3}, {5}), (TropEtaS::Value{3}));
+  EXPECT_EQ(TropEtaS::Times({3}, {5}), (TropEtaS::Value{8}));
+}
+
+TEST(TropEta, IdempotentAddition) {
+  TropEtaS::ScopedEta eta(4.0);
+  TropEtaS::Value a = {1, 3, 5};
+  EXPECT_EQ(TropEtaS::Plus(a, a), a);
+}
+
+TEST(TropEta, RandomizedLawsWithinWindow) {
+  TropEtaS::ScopedEta eta(5.0);
+  std::mt19937_64 rng(4);
+  // Dyadic weights keep double sums exact under re-association.
+  auto w = [&rng](auto&) { return static_cast<double>(rng() % 40) / 4; };
+  auto random_val = [&] {
+    TropEtaS::Value v;
+    int n = 1 + static_cast<int>(rng() % 4);
+    for (int i = 0; i < n; ++i) v.push_back(w(rng));
+    return TropEtaS::Normalize(std::move(v));
+  };
+  for (int t = 0; t < 200; ++t) {
+    auto a = random_val(), b = random_val(), c = random_val();
+    EXPECT_EQ(TropEtaS::Plus(a, b), TropEtaS::Plus(b, a));
+    EXPECT_EQ(TropEtaS::Times(a, b), TropEtaS::Times(b, a));
+    EXPECT_EQ(TropEtaS::Plus(TropEtaS::Plus(a, b), c),
+              TropEtaS::Plus(a, TropEtaS::Plus(b, c)));
+    EXPECT_EQ(TropEtaS::Times(TropEtaS::Times(a, b), c),
+              TropEtaS::Times(a, TropEtaS::Times(b, c)));
+    EXPECT_EQ(TropEtaS::Times(a, TropEtaS::Plus(b, c)),
+              TropEtaS::Plus(TropEtaS::Times(a, b), TropEtaS::Times(a, c)));
+    // Order coherence: a ⪯ a ⊕ b and the Leq predicate agrees with the
+    // additive characterization.
+    auto ab = TropEtaS::Plus(a, b);
+    EXPECT_TRUE(TropEtaS::Leq(a, ab));
+    EXPECT_EQ(TropEtaS::Plus(a, ab), ab);
+  }
+}
+
+TEST(TropEta, Eq16OneFinalTruncation) {
+  // Evaluate (a ⊗ b) ⊕ c two ways: with intermediate truncations (library
+  // ops) and with a single min_{≤η} at the end over exact sets.
+  TropEtaS::ScopedEta eta(3.0);
+  std::mt19937_64 rng(8);
+  auto w = [&rng](auto&) { return static_cast<double>(rng() % 24) / 4; };
+  for (int t = 0; t < 100; ++t) {
+    std::vector<double> a, b, c;
+    for (int i = 0; i < 3; ++i) {
+      a.push_back(w(rng));
+      b.push_back(w(rng));
+      c.push_back(w(rng));
+    }
+    auto lhs = TropEtaS::Plus(
+        TropEtaS::Times(TropEtaS::Normalize(a), TropEtaS::Normalize(b)),
+        TropEtaS::Normalize(c));
+    std::vector<double> exact;
+    for (double x : a) {
+      for (double y : b) exact.push_back(x + y);
+    }
+    exact.insert(exact.end(), c.begin(), c.end());
+    EXPECT_EQ(lhs, TropEtaS::Normalize(exact));
+  }
+}
+
+TEST(TropEta, LeqMatchesAdditiveWitness) {
+  TropEtaS::ScopedEta eta(6.5);
+  TropEtaS::Value a = {3, 7}, b = {3, 5, 7, 9};
+  EXPECT_TRUE(TropEtaS::Leq(a, b));
+  EXPECT_FALSE(TropEtaS::Leq(b, a));
+}
+
+}  // namespace
+}  // namespace datalogo

@@ -1,0 +1,112 @@
+// Trop+_p (Example 2.9): bag arithmetic, natural order, and the Eq. (15)
+// commutation identities that let expressions be evaluated with one final
+// min_p.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/semiring/trop_p.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+namespace {
+
+using T2 = TropPS<2>;
+
+T2::Value RandomBag(std::mt19937_64& rng) {
+  // Dyadic weights (k/4) keep double addition exact, so the law checks
+  // are not confounded by re-association rounding.
+  T2::Value v;
+  for (int i = 0; i < T2::kBagSize; ++i) {
+    v[i] = (rng() % 4 == 0) ? T2::Inf() : static_cast<double>(rng() % 40) / 4;
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(TropP, Identities) {
+  auto a = T2::Value{1, 2, 3};
+  EXPECT_TRUE(T2::Eq(T2::Plus(a, T2::Zero()), a));
+  EXPECT_TRUE(T2::Eq(T2::Times(a, T2::One()), a));
+  EXPECT_TRUE(T2::Eq(T2::Times(a, T2::Zero()), T2::Zero()));
+}
+
+TEST(TropP, PlusKeepsSmallestWithMultiplicity) {
+  // Bags, not sets: duplicates survive.
+  auto a = T2::Value{1, 5, 9};
+  EXPECT_TRUE(T2::Eq(T2::Plus(a, a), T2::Value{1, 1, 5}));
+}
+
+TEST(TropP, TimesIsMinkowskiMin) {
+  auto a = T2::Value{0, 1, T2::Inf()};
+  auto b = T2::Value{2, 3, T2::Inf()};
+  EXPECT_TRUE(T2::Eq(T2::Times(a, b), T2::Value{2, 3, 3}));
+}
+
+TEST(TropP, NaturalOrderSemantics) {
+  // a ⪯ b iff ∃c. a ⊕ c = b: adding elements can push the tail of a out
+  // of the bag but cannot delete entries below the new maximum.
+  auto a = T2::Value{3, 7, 9};
+  EXPECT_TRUE(T2::Leq(a, T2::Value{1, 3, 7}));   // c = {1, …}
+  EXPECT_TRUE(T2::Leq(a, T2::Value{1, 2, 3}));   // c = {1, 2, …}
+  EXPECT_TRUE(T2::Leq(a, T2::Value{1, 2, 2}));   // 3 pushed out entirely
+  EXPECT_FALSE(T2::Leq(a, T2::Value{1, 2, 9}));  // 3, 7 missing below 9
+  EXPECT_FALSE(T2::Leq(a, T2::Value{1, 4, 7}));  // 3 missing below 7
+  EXPECT_TRUE(T2::Leq(a, a));                    // reflexive
+  // Coherence with ⊕: a ⪯ a ⊕ b always.
+  auto b = T2::Value{1, 2, 9};
+  EXPECT_TRUE(T2::Leq(a, T2::Plus(a, b)));
+  EXPECT_TRUE(T2::Leq(b, T2::Plus(a, b)));
+}
+
+TEST(TropP, RandomizedSemiringLaws) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = RandomBag(rng), b = RandomBag(rng), c = RandomBag(rng);
+    EXPECT_TRUE(T2::Eq(T2::Plus(a, b), T2::Plus(b, a)));
+    EXPECT_TRUE(T2::Eq(T2::Times(a, b), T2::Times(b, a)));
+    EXPECT_TRUE(T2::Eq(T2::Plus(T2::Plus(a, b), c),
+                       T2::Plus(a, T2::Plus(b, c))));
+    EXPECT_TRUE(T2::Eq(T2::Times(T2::Times(a, b), c),
+                       T2::Times(a, T2::Times(b, c))));
+    EXPECT_TRUE(T2::Eq(T2::Times(a, T2::Plus(b, c)),
+                       T2::Plus(T2::Times(a, b), T2::Times(a, c))));
+  }
+}
+
+TEST(TropP, Eq15CommutationWithTruncation) {
+  // min_p(min_p(x) ⊎ min_p(y)) = min_p(x ⊎ y) and the ⊗ analogue — here
+  // checked through associativity-with-truncation on random triples: the
+  // truncated results never depend on intermediate truncation order.
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto a = RandomBag(rng), b = RandomBag(rng), c = RandomBag(rng);
+    // (a ⊗ b) ⊗ c with early truncation equals min_p over all 27 sums.
+    auto lhs = T2::Times(T2::Times(a, b), c);
+    std::vector<double> all;
+    for (double x : a) {
+      for (double y : b) {
+        for (double z : c) all.push_back(x + y + z);
+      }
+    }
+    std::sort(all.begin(), all.end());
+    T2::Value rhs{all[0], all[1], all[2]};
+    EXPECT_TRUE(T2::Eq(lhs, rhs));
+  }
+}
+
+TEST(TropP, ZeroCaseDegeneratesToTrop) {
+  using T0 = TropPS<0>;
+  auto a = T0::FromScalar(3.0), b = T0::FromScalar(5.0);
+  EXPECT_TRUE(T0::Eq(T0::Plus(a, b), T0::FromScalar(3.0)));
+  EXPECT_TRUE(T0::Eq(T0::Times(a, b), T0::FromScalar(8.0)));
+  static_assert(T0::kIdempotentPlus);
+  static_assert(!TropPS<1>::kIdempotentPlus);
+}
+
+TEST(TropP, ToStringRendersBags) {
+  EXPECT_EQ(T2::ToString(T2::One()), "{{0,inf,inf}}");
+}
+
+}  // namespace
+}  // namespace datalogo

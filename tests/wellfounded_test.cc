@@ -1,0 +1,92 @@
+// The alternating-fixpoint baseline (Sec. 7.1).
+#include <gtest/gtest.h>
+
+#include "src/datalogo.h"
+
+namespace datalogo {
+namespace {
+
+TEST(WellFounded, PositiveProgramIsTwoValued) {
+  // No negation: the well-founded model is the minimal model.
+  NegProgram prog;
+  prog.num_atoms = 3;
+  prog.rules = {{0, {}, {}}, {1, {0}, {}}, {2, {2}, {}}};  // 2 :- 2 derives nothing
+  WellFoundedModel m = AlternatingFixpoint(prog);
+  EXPECT_EQ(m.values[0], Kleene::kTrue);
+  EXPECT_EQ(m.values[1], Kleene::kTrue);
+  EXPECT_EQ(m.values[2], Kleene::kFalse);  // minimal model: P(a):-P(a) is 0
+}
+
+TEST(WellFounded, StratifiedNegation) {
+  // q :- ¬p where p has no rules: p = 0, q = 1.
+  NegProgram prog;
+  prog.num_atoms = 2;
+  prog.rules = {{1, {}, {0}}};
+  WellFoundedModel m = AlternatingFixpoint(prog);
+  EXPECT_EQ(m.values[0], Kleene::kFalse);
+  EXPECT_EQ(m.values[1], Kleene::kTrue);
+}
+
+TEST(WellFounded, ParadoxIsUndefined) {
+  // p :- ¬p.
+  NegProgram prog;
+  prog.num_atoms = 1;
+  prog.rules = {{0, {}, {0}}};
+  WellFoundedModel m = AlternatingFixpoint(prog);
+  EXPECT_EQ(m.values[0], Kleene::kBot);
+}
+
+TEST(WellFounded, PaperSection71Table) {
+  // The exact alternating-fixpoint table for Fig. 4 (J(0)..J(6)).
+  NamedGraph named = PaperFig4();
+  Graph g(6);
+  auto index = [&](const std::string& n) {
+    for (std::size_t i = 0; i < named.names.size(); ++i) {
+      if (named.names[i] == n) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const auto& [s, t] : named.edges) g.AddEdge(index(s), index(t));
+  WellFoundedModel m = AlternatingFixpoint(WinMoveProgram(g));
+  // Paper rows J(0)..J(6) over (a,b,c,d,e,f).
+  const bool expected[7][6] = {
+      {0, 0, 0, 0, 0, 0}, {1, 1, 1, 1, 1, 0}, {0, 0, 0, 0, 1, 0},
+      {1, 1, 1, 0, 1, 0}, {0, 0, 1, 0, 1, 0}, {1, 1, 1, 0, 1, 0},
+      {0, 0, 1, 0, 1, 0},
+  };
+  ASSERT_GE(m.trace.size(), 7u);
+  for (int t = 0; t < 7; ++t) {
+    for (int v = 0; v < 6; ++v) {
+      EXPECT_EQ(m.trace[t][v], expected[t][v]) << "t=" << t << " v=" << v;
+    }
+  }
+}
+
+TEST(WellFounded, MonotoneChains) {
+  // Even-indexed trace entries increase, odd-indexed decrease.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(9, 18, seed);
+    WellFoundedModel m = AlternatingFixpoint(WinMoveProgram(g));
+    for (std::size_t t = 2; t < m.trace.size(); ++t) {
+      for (int v = 0; v < 9; ++v) {
+        if (t % 2 == 0) {
+          EXPECT_LE(m.trace[t - 2][v], m.trace[t][v]);
+        } else {
+          EXPECT_GE(m.trace[t - 2][v], m.trace[t][v]);
+        }
+      }
+    }
+    // L ⊆ G: an atom true in the increasing limit is never false in the
+    // decreasing limit.
+    const std::vector<bool>& last = m.trace.back();
+    const std::vector<bool>& prev = m.trace[m.trace.size() - 2];
+    for (int v = 0; v < 9; ++v) {
+      bool in_l = ((m.trace.size() - 1) % 2 == 0 ? last : prev)[v];
+      bool in_g = ((m.trace.size() - 1) % 2 == 1 ? last : prev)[v];
+      EXPECT_TRUE(!in_l || in_g) << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datalogo
