@@ -34,15 +34,39 @@ struct EvalResult {
   uint64_t work = 0;
 };
 
+/// Tuning knobs for Engine.
+struct EngineOptions {
+  /// Reuse RelationIndexes across joining steps (EDB indexes live for the
+  /// whole run; IDB indexes until their relation mutates). Off = the
+  /// seed's rebuild-per-disjunct behaviour, kept for benchmarking.
+  bool cache_indexes = true;
+};
+
 /// Relational evaluation of a datalog° program over a naturally ordered
 /// semiring. Compiles each sum-product into a join plan once, then applies
 /// the ICO by index nested-loop joins over relation supports.
+///
+/// Thread safety: the evaluation entry points are const but memoize
+/// RelationIndexes in mutable caches, so one Engine must not be shared
+/// across threads without external synchronization (use one Engine per
+/// thread — compilation is cheap).
 template <NaturallyOrderedSemiring P>
 class Engine {
  public:
-  Engine(const Program& prog, const EdbInstance<P>& edb)
-      : prog_(&prog), edb_(&edb) {
+  Engine(const Program& prog, const EdbInstance<P>& edb,
+         EngineOptions options = {})
+      : prog_(&prog), edb_(&edb), options_(options) {
     Compile();
+  }
+
+  /// Indexes constructed so far (cached or not) — the bench counter for
+  /// the index-caching win.
+  uint64_t index_builds() const {
+    return pops_cache_.builds() + bool_cache_.builds() + uncached_builds_;
+  }
+  /// Index lookups served from cache without rebuilding.
+  uint64_t index_hits() const {
+    return pops_cache_.hits() + bool_cache_.hits();
   }
 
   /// Algorithm 1: J ← F(J) from ⊥ until fixpoint (or budget).
@@ -62,6 +86,7 @@ class Engine {
     IdbInstance<P> j = frozen;
     uint64_t work = 0;
     for (int t = 0; t < max_steps; ++t) {
+      SweepCaches();
       IdbInstance<P> next = frozen;
       for (int r : rule_ids) {
         DLO_CHECK(r >= 0 && r < static_cast<int>(compiled_.size()));
@@ -85,6 +110,7 @@ class Engine {
     IdbInstance<P> j(*prog_);
     uint64_t work = 0;
     for (int t = 0; t < max_steps; ++t) {
+      SweepCaches();
       IdbInstance<P> f(*prog_);
       ApplyIco(j, &f, &work);
       bool any_delta = false;
@@ -125,6 +151,7 @@ class Engine {
     t_new = delta;
 
     for (int t = 1; t < max_steps; ++t) {
+      SweepCaches();
       // Candidate C_i = ⊕_ℓ G_i(.., δ_ℓ, ..) using new/old T per Eq. (64).
       IdbInstance<P> candidate(*prog_);
       for (const CompiledRule& cr : compiled_) {
@@ -303,6 +330,13 @@ class Engine {
     }
   }
 
+  /// Bounds cache memory between joining steps — the only time no
+  /// RelationIndex references are live.
+  void SweepCaches() const {
+    pops_cache_.MaybeEvict();
+    bool_cache_.MaybeEvict();
+  }
+
   /// F(J) evaluated into `out` (fresh instance), counting join work.
   void ApplyIco(const IdbInstance<P>& j, IdbInstance<P>* out,
                 uint64_t* work) const {
@@ -381,23 +415,41 @@ class Engine {
     std::vector<ConstId> binding(cr.rule->num_vars, kUnbound);
     for (const auto& [v, c] : cd.prebindings) binding[v] = c;
 
-    // Build per-generator indexes for this evaluation.
-    std::vector<std::unique_ptr<RelationIndex<P>>> pops_idx(
-        cd.generators.size());
-    std::vector<std::unique_ptr<RelationIndex<BoolS>>> bool_idx(
-        cd.generators.size());
+    // Per-generator indexes: served from the engine-level cache (invalid
+    // the moment the underlying relation mutates) or, with caching off,
+    // rebuilt into locals exactly as the seed engine did.
+    std::vector<const RelationIndex<P>*> pops_idx(cd.generators.size(),
+                                                  nullptr);
+    std::vector<const RelationIndex<BoolS>*> bool_idx(cd.generators.size(),
+                                                      nullptr);
+    std::vector<std::unique_ptr<RelationIndex<P>>> local_pops;
+    std::vector<std::unique_ptr<RelationIndex<BoolS>>> local_bool;
     for (std::size_t g = 0; g < cd.generators.size(); ++g) {
       const Generator& gen = cd.generators[g];
       if (gen.is_bool) {
-        bool_idx[g] = std::make_unique<RelationIndex<BoolS>>(
-            edb_->boolean(gen.atom->pred), gen.key_positions);
+        const Relation<BoolS>& rel = edb_->boolean(gen.atom->pred);
+        if (options_.cache_indexes) {
+          bool_idx[g] = &bool_cache_.Get(rel, gen.key_positions);
+        } else {
+          ++uncached_builds_;
+          local_bool.push_back(
+              std::make_unique<RelationIndex<BoolS>>(rel,
+                                                     gen.key_positions));
+          bool_idx[g] = local_bool.back().get();
+        }
       } else {
         const Relation<P>& rel =
             prog_->predicate(gen.atom->pred).kind == PredKind::kIdb
                 ? resolver(gen.atom_index)
                 : edb_->pops(gen.atom->pred);
-        pops_idx[g] = std::make_unique<RelationIndex<P>>(rel,
-                                                         gen.key_positions);
+        if (options_.cache_indexes) {
+          pops_idx[g] = &pops_cache_.Get(rel, gen.key_positions);
+        } else {
+          ++uncached_builds_;
+          local_pops.push_back(
+              std::make_unique<RelationIndex<P>>(rel, gen.key_positions));
+          pops_idx[g] = local_pops.back().get();
+        }
       }
     }
 
@@ -465,7 +517,13 @@ class Engine {
 
   const Program* prog_;
   const EdbInstance<P>* edb_;
+  EngineOptions options_;
   std::vector<CompiledRule> compiled_;
+  // Mutable: evaluation entry points are const, but memoizing indexes (and
+  // counting builds) is invisible to callers.
+  mutable IndexCache<P> pops_cache_;
+  mutable IndexCache<BoolS> bool_cache_;
+  mutable uint64_t uncached_builds_ = 0;
 };
 
 }  // namespace datalogo

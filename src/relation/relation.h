@@ -5,9 +5,14 @@
 #define DATALOGO_RELATION_RELATION_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/check.h"
@@ -17,6 +22,13 @@
 
 namespace datalogo {
 
+/// Process-unique id for one Relation object; never reused, so a cache
+/// entry keyed by a dead relation's id can never match a live relation.
+inline uint64_t NextRelationUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 /// A P-relation of fixed arity; absent tuples implicitly map to ⊥.
 template <Pops P>
 class Relation {
@@ -25,6 +37,35 @@ class Relation {
   using Map = std::unordered_map<Tuple, Value, TupleHash>;
 
   explicit Relation(int arity = 0) : arity_(arity) {}
+
+  // Every object carries a unique id plus a mutation counter so index
+  // caches can tell "same content as when I indexed it" apart from "same
+  // address by coincidence". Copies and moves are new objects: they get a
+  // fresh uid instead of inheriting cached-index validity.
+  Relation(const Relation& other) : arity_(other.arity_), data_(other.data_) {}
+  Relation(Relation&& other) noexcept
+      : arity_(other.arity_), data_(std::move(other.data_)) {
+    other.data_.clear();
+    ++other.version_;
+  }
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      arity_ = other.arity_;
+      data_ = other.data_;
+      ++version_;
+    }
+    return *this;
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      arity_ = other.arity_;
+      data_ = std::move(other.data_);
+      other.data_.clear();
+      ++other.version_;
+      ++version_;
+    }
+    return *this;
+  }
 
   int arity() const { return arity_; }
   std::size_t support_size() const { return data_.size(); }
@@ -41,6 +82,7 @@ class Relation {
   /// Sets the value, maintaining the support invariant (⊥ values erase).
   void Set(const Tuple& t, Value v) {
     DLO_CHECK(static_cast<int>(t.size()) == arity_);
+    ++version_;
     if (P::Eq(v, P::Bottom())) {
       data_.erase(t);
     } else {
@@ -51,7 +93,15 @@ class Relation {
   /// r(t) ← r(t) ⊕ v.
   void Merge(const Tuple& t, const Value& v) { Set(t, P::Plus(Get(t), v)); }
 
-  void Clear() { data_.clear(); }
+  void Clear() {
+    ++version_;
+    data_.clear();
+  }
+
+  /// Identity of this object (stable for its lifetime, never reused).
+  uint64_t uid() const { return uid_; }
+  /// Bumped on every mutation; (uid, version) identifies one content state.
+  uint64_t version() const { return version_; }
 
   const Map& tuples() const { return data_; }
 
@@ -95,10 +145,13 @@ class Relation {
  private:
   int arity_;
   Map data_;
+  uint64_t uid_ = NextRelationUid();
+  uint64_t version_ = 0;
 };
 
 /// An index over a relation keyed by a subset of argument positions;
-/// rebuilt per joining step by the engine (index nested-loop joins).
+/// built on demand by the engine (index nested-loop joins) and reused
+/// across joining steps through IndexCache below.
 template <Pops P>
 class RelationIndex {
  public:
@@ -132,6 +185,90 @@ class RelationIndex {
                                                  typename P::Value>*>,
                      TupleHash>
       index_;
+};
+
+/// Memoizes RelationIndexes keyed by (relation identity, position set).
+/// A cached index is reused only while the relation's version is unchanged
+/// — i.e. the relation has not been mutated since the index was built — so
+/// EDB indexes survive an entire fixpoint run and IDB indexes survive all
+/// rule evaluations within one ICO application. An index holds pointers
+/// into the relation's storage; the version guard ensures such pointers
+/// are only ever followed while they are valid, and entries for mutated or
+/// destroyed relations become unreachable (uids are never reused).
+template <Pops P>
+class IndexCache {
+ public:
+  /// Returns an index of `rel` on `positions`, building it if no current
+  /// one is cached. The reference stays valid until `rel` is mutated, the
+  /// cache is cleared, or MaybeEvict() runs — Get itself never evicts, so
+  /// references obtained during one joining step cannot be invalidated by
+  /// later lookups in that same step.
+  const RelationIndex<P>& Get(const Relation<P>& rel,
+                              const std::vector<int>& positions) {
+    // Two-level lookup (uid, then a linear scan of the few position sets a
+    // predicate is ever joined on) keeps cache hits allocation-free; the
+    // positions vector is copied only when an index is first built.
+    std::vector<Entry>& entries = cache_[rel.uid()];
+    for (Entry& e : entries) {
+      if (e.positions != positions) continue;
+      if (e.version == rel.version()) {
+        ++hits_;
+        e.last_used = sweep_;
+        return *e.index;
+      }
+      ++builds_;
+      // Build before updating the entry: a throwing constructor must not
+      // leave the stale index tagged with the fresh version.
+      auto rebuilt = std::make_unique<RelationIndex<P>>(rel, positions);
+      e.version = rel.version();
+      e.index = std::move(rebuilt);
+      e.last_used = sweep_;
+      return *e.index;
+    }
+    ++builds_;
+    // Growing `entries` may relocate other Entry objects, but never the
+    // heap RelationIndexes that outstanding Get() references point to.
+    entries.push_back(Entry{positions, rel.version(),
+                            std::make_unique<RelationIndex<P>>(rel, positions),
+                            sweep_});
+    return *entries.back().index;
+  }
+
+  /// Eviction — call only when no Get() references are live (e.g. between
+  /// fixpoint iterations, which also advances the "recently used" epoch).
+  /// Callers that index short-lived relations (fresh IdbInstances every
+  /// iteration) orphan their entries — each a fully built index the size
+  /// of its relation — so everything idle for a full epoch is dropped;
+  /// hot (EDB) indexes are looked up every epoch and survive.
+  void MaybeEvict() {
+    ++sweep_;
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      std::erase_if(it->second, [this](const Entry& e) {
+        return e.last_used + 1 < sweep_;
+      });
+      it = it->second.empty() ? cache_.erase(it) : std::next(it);
+    }
+  }
+
+  void Clear() { cache_.clear(); }
+
+  /// Number of indexes actually constructed through this cache.
+  uint64_t builds() const { return builds_; }
+  /// Number of lookups served without rebuilding.
+  uint64_t hits() const { return hits_; }
+
+ private:
+  struct Entry {
+    std::vector<int> positions;
+    uint64_t version;
+    std::unique_ptr<RelationIndex<P>> index;
+    uint64_t last_used = 0;  ///< sweep epoch of the most recent lookup
+  };
+
+  std::unordered_map<uint64_t, std::vector<Entry>> cache_;
+  uint64_t sweep_ = 0;
+  uint64_t builds_ = 0;
+  uint64_t hits_ = 0;
 };
 
 }  // namespace datalogo

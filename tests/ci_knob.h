@@ -1,0 +1,21 @@
+// Iteration caps for CI: the fuzz/stress suites default to deep sweeps,
+// which is right locally but too slow for sanitizer CI jobs. Setting the
+// DATALOGO_CI environment variable (any value) selects the capped counts.
+#ifndef DATALOGO_TESTS_CI_KNOB_H_
+#define DATALOGO_TESTS_CI_KNOB_H_
+
+#include <cstdlib>
+
+namespace datalogo {
+
+/// `full` iterations normally, `capped` when DATALOGO_CI is set (to any
+/// non-empty value — an empty string counts as unset, so CI matrices can
+/// blank the variable to opt a job out).
+inline int CiIterations(int full, int capped) {
+  const char* v = std::getenv("DATALOGO_CI");
+  return (v != nullptr && v[0] != '\0') ? capped : full;
+}
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_TESTS_CI_KNOB_H_

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/datalogo.h"
+#include "tests/ci_knob.h"
 
 namespace datalogo {
 namespace {
@@ -33,7 +34,8 @@ void ExpectEnginesAgree(const Graph& g, F&& lift, uint64_t seed) {
 }
 
 TEST(EngineStress, CrossEngineAgreementAcrossSemirings) {
-  for (uint64_t seed = 0; seed < 5; ++seed) {
+  const uint64_t seeds = static_cast<uint64_t>(CiIterations(5, 2));
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
     Graph g = RandomGraph(6, 14, seed * 3 + 1);
     ExpectEnginesAgree<TropNatS>(
         g, [](const Edge& e) { return static_cast<uint64_t>(e.weight); },
@@ -145,7 +147,8 @@ TEST(EngineStress, SelfLoopsAndParallelEdges) {
 }
 
 TEST(EngineStress, LargerRandomSweepSemiNaiveEqualsNaive) {
-  for (uint64_t seed = 0; seed < 3; ++seed) {
+  const uint64_t seeds = static_cast<uint64_t>(CiIterations(3, 1));
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
     Domain dom;
     auto prog = ParseProgram(kTc, &dom);
     ASSERT_TRUE(prog.ok());
@@ -161,6 +164,62 @@ TEST(EngineStress, LargerRandomSweepSemiNaiveEqualsNaive) {
     ASSERT_TRUE(naive.converged && semi.converged && nodiff.converged);
     EXPECT_TRUE(naive.idb.Equals(semi.idb)) << seed;
     EXPECT_TRUE(naive.idb.Equals(nodiff.idb)) << seed;
+  }
+}
+
+TEST(EngineStress, IndexCacheInvalidatesOnEdbMutation) {
+  // The engine caches RelationIndexes (EngineOptions::cache_indexes, on
+  // by default); mutating the EDB between runs must invalidate them, so a
+  // rerun sees the new data exactly like the uncached engine does.
+  Domain dom;
+  auto prog = ParseProgram(kTc, &dom);
+  ASSERT_TRUE(prog.ok());
+  std::vector<ConstId> ids = InternVertices(3, &dom);
+  EdbInstance<TropS> edb(prog.value());
+  int e = prog.value().FindPredicate("E");
+  int t = prog.value().FindPredicate("T");
+  edb.pops(e).Set({ids[0], ids[1]}, 5.0);
+  Engine<TropS> cached(prog.value(), edb);
+  Engine<TropS> uncached(prog.value(), edb,
+                         EngineOptions{.cache_indexes = false});
+  auto first = cached.Naive(100);
+  ASSERT_TRUE(first.converged);
+  EXPECT_EQ(first.idb.idb(t).Get({ids[0], ids[1]}), 5.0);
+  EXPECT_GT(cached.index_hits(), 0u);
+
+  edb.pops(e).Set({ids[0], ids[1]}, 2.0);
+  edb.pops(e).Set({ids[1], ids[2]}, 1.0);
+  auto second = cached.Naive(100);
+  auto reference = uncached.Naive(100);
+  ASSERT_TRUE(second.converged && reference.converged);
+  EXPECT_EQ(second.idb.idb(t).Get({ids[0], ids[1]}), 2.0);
+  EXPECT_EQ(second.idb.idb(t).Get({ids[0], ids[2]}), 3.0);
+  EXPECT_TRUE(second.idb.Equals(reference.idb));
+}
+
+TEST(EngineStress, CachedEngineAgreesWithUncachedAndBuildsFewerIndexes) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Domain dom;
+    auto prog = ParseProgram(kTc, &dom);
+    ASSERT_TRUE(prog.ok());
+    Graph g = RandomGraph(25, 80, seed + 77);
+    std::vector<ConstId> ids = InternVertices(25, &dom);
+    EdbInstance<TropS> edb(prog.value());
+    LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                     &edb.pops(prog.value().FindPredicate("E")));
+    Engine<TropS> cached(prog.value(), edb);
+    Engine<TropS> uncached(prog.value(), edb,
+                           EngineOptions{.cache_indexes = false});
+    auto cn = cached.Naive(100000);
+    auto un = uncached.Naive(100000);
+    ASSERT_TRUE(cn.converged && un.converged);
+    EXPECT_TRUE(cn.idb.Equals(un.idb)) << seed;
+    auto cs = cached.SemiNaive(100000);
+    auto us = uncached.SemiNaive(100000);
+    ASSERT_TRUE(cs.converged && us.converged);
+    EXPECT_TRUE(cs.idb.Equals(us.idb)) << seed;
+    EXPECT_LT(cached.index_builds(), uncached.index_builds()) << seed;
+    EXPECT_GT(cached.index_hits(), 0u) << seed;
   }
 }
 

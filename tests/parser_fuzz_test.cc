@@ -7,6 +7,7 @@
 
 #include "src/datalog/parser.h"
 #include "src/datalog/validate.h"
+#include "tests/ci_knob.h"
 
 namespace datalogo {
 namespace {
@@ -38,7 +39,8 @@ TEST(ParserFuzz, SingleCharacterMutationsNeverCrash) {
   std::mt19937_64 rng(99);
   for (const char* seed : kSeedPrograms) {
     const std::string base = seed;
-    for (int trial = 0; trial < 300; ++trial) {
+    const int trials = CiIterations(300, 60);
+    for (int trial = 0; trial < trials; ++trial) {
       std::string text = base;
       std::size_t pos = rng() % text.size();
       text[pos] = kAlphabet[rng() % (sizeof(kAlphabet) - 1)];
@@ -57,7 +59,8 @@ TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
                            "<",  "<=", "X", "Y",  "a",  "42", "-7", "edb",
                            "bedb", "idb", "case", "else", "/", ":"};
   std::mt19937_64 rng(7);
-  for (int trial = 0; trial < 500; ++trial) {
+  const int trials = CiIterations(500, 100);
+  for (int trial = 0; trial < trials; ++trial) {
     std::string text;
     int len = 1 + static_cast<int>(rng() % 30);
     for (int i = 0; i < len; ++i) {
@@ -91,21 +94,24 @@ TEST(ParserFuzz, WhitespaceAndCommentsAreInert) {
 
 TEST(ParserFuzz, DeeplyNestedInputTerminates) {
   // Pathological but bounded inputs.
+  const int depth = CiIterations(2000, 400);
   std::string many_disjuncts = "T(X) :- E(X,X)";
-  for (int i = 0; i < 2000; ++i) many_disjuncts += " ; E(X,X)";
+  for (int i = 0; i < depth; ++i) many_disjuncts += " ; E(X,X)";
   many_disjuncts += ".";
   Domain dom;
   auto r = ParseProgram(many_disjuncts, &dom);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.value().rules()[0].disjuncts.size(), 2001u);
+  EXPECT_EQ(r.value().rules()[0].disjuncts.size(),
+            static_cast<std::size_t>(depth) + 1);
 
   std::string many_factors = "T(X) :- E(X,X)";
-  for (int i = 0; i < 2000; ++i) many_factors += " * E(X,X)";
+  for (int i = 0; i < depth; ++i) many_factors += " * E(X,X)";
   many_factors += ".";
   Domain dom2;
   auto r2 = ParseProgram(many_factors, &dom2);
   ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(r2.value().rules()[0].disjuncts[0].atoms.size(), 2001u);
+  EXPECT_EQ(r2.value().rules()[0].disjuncts[0].atoms.size(),
+            static_cast<std::size_t>(depth) + 1);
 }
 
 }  // namespace
