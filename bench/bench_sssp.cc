@@ -67,11 +67,22 @@ void BM_Sssp(benchmark::State& state) {
 BENCHMARK(BM_Sssp<false>)->Name("sssp_naive")->Arg(64)->Arg(256);
 BENCHMARK(BM_Sssp<true>)->Name("sssp_seminaive")->Arg(64)->Arg(256);
 
+// Machine-readable perf journal (see bench_util.h): wall ms /
+// iterations / work / index builds for SSSP per engine.
+void WriteJson() {
+  const bool smoke = BenchSmokeMode();
+  WriteEngineJson("sssp", "SSSP/Trop random graph (seed 7, m = 6n)",
+                  [](Domain* dom) { return SsspProgram(dom); },
+                  [](int n) { return RandomGraph(n, 6 * n, /*seed=*/7); },
+                  {smoke ? 64 : 256, smoke ? 128 : 512});
+}
+
 }  // namespace
 }  // namespace datalogo
 
 int main(int argc, char** argv) {
   datalogo::PrintTables();
+  datalogo::WriteJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

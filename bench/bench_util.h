@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
 
 #include "src/datalogo.h"
 
@@ -17,6 +21,166 @@ inline void Banner(const char* experiment, const char* artifact) {
   std::printf("\n================================================\n");
   std::printf("%s\n  reproduces: %s\n", experiment, artifact);
   std::printf("================================================\n");
+}
+
+/// True when the bench should run in CI smoke mode (small sizes, one
+/// timing rep): export DATALOGO_BENCH_SMOKE=1.
+inline bool BenchSmokeMode() {
+  const char* v = std::getenv("DATALOGO_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Wall-clock milliseconds of one `fn()` run.
+template <typename F>
+double WallMs(F&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Minimal emitter for the machine-readable BENCH_<name>.json artifacts:
+/// one flat metadata object plus a "rows" array of flat objects, so a
+/// trajectory script can diff perf numbers across commits without
+/// scraping stdout tables.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench) : bench_(bench) {}
+
+  BenchJson& Meta(const char* key, const std::string& value) {
+    meta_ << ",\n  \"" << key << "\": \"" << Escaped(value) << "\"";
+    return *this;
+  }
+  BenchJson& MetaBool(const char* key, bool value) {
+    meta_ << ",\n  \"" << key << "\": " << (value ? "true" : "false");
+    return *this;
+  }
+
+  BenchJson& BeginRow() {
+    if (any_row_) rows_ << ",";
+    rows_ << "\n    {";
+    first_field_ = true;
+    any_row_ = true;
+    return *this;
+  }
+  BenchJson& Str(const char* key, const std::string& v) {
+    Key(key) << "\"" << Escaped(v) << "\"";
+    return *this;
+  }
+  BenchJson& Int(const char* key, uint64_t v) {
+    Key(key) << v;
+    return *this;
+  }
+  BenchJson& Num(const char* key, double v) {
+    Key(key) << v;
+    return *this;
+  }
+  BenchJson& EndRow() {
+    rows_ << "}";
+    return *this;
+  }
+
+  /// Writes the artifact; returns false (and warns) on I/O failure.
+  bool Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\n  \"bench\": \"" + bench_ + "\"" + meta_.str() +
+                      ",\n  \"rows\": [" + rows_.str() + "\n  ]\n}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  /// JSON string escaping: backslash, quote, and control characters.
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '\\' || c == '"') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::ostringstream& Key(const char* key) {
+    if (!first_field_) rows_ << ", ";
+    first_field_ = false;
+    rows_ << "\"" << key << "\": ";
+    return rows_;
+  }
+
+  std::string bench_;
+  std::ostringstream meta_;
+  std::ostringstream rows_;
+  bool any_row_ = false;
+  bool first_field_ = true;
+};
+
+/// Shared emitter for the BENCH_<name>.json perf journals: for each n
+/// and each engine, times `reps` evaluations — a fresh Engine per rep,
+/// so every journaled counter describes exactly the one run whose wall
+/// time is reported (the best rep) rather than mixing best-of wall with
+/// lifetime-accumulated index counters.
+template <typename MakeProgram, typename MakeGraph>
+void WriteEngineJson(const std::string& bench_name,
+                     const char* workload_desc, MakeProgram&& make_program,
+                     MakeGraph&& make_graph,
+                     std::initializer_list<int> sizes) {
+  const bool smoke = BenchSmokeMode();
+  const int reps = smoke ? 1 : 3;
+  BenchJson json(bench_name);
+  json.MetaBool("smoke", smoke);
+  json.Meta("workload", workload_desc);
+  for (int n : sizes) {
+    Domain dom;
+    Program prog = make_program(&dom).value();
+    Graph g = make_graph(n);
+    std::vector<ConstId> ids = InternVertices(n, &dom);
+    EdbInstance<TropS> edb(prog);
+    LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                     &edb.pops(prog.FindPredicate("E")));
+    for (bool semi : {false, true}) {
+      double best_ms = -1.0;
+      EvalResult<TropS> best{IdbInstance<TropS>(prog)};
+      uint64_t builds = 0, hits = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        Engine<TropS> engine(prog, edb);
+        EvalResult<TropS> r{IdbInstance<TropS>(prog)};
+        double ms = WallMs([&] {
+          r = semi ? engine.SemiNaive(1 << 20) : engine.Naive(1 << 20);
+        });
+        if (best_ms < 0 || ms < best_ms) {
+          best_ms = ms;
+          best = std::move(r);
+          builds = engine.index_builds();
+          hits = engine.index_hits();
+        }
+      }
+      json.BeginRow()
+          .Str("engine", semi ? "seminaive" : "naive")
+          .Int("n", static_cast<uint64_t>(n))
+          .Num("wall_ms", best_ms)
+          .Int("iterations", static_cast<uint64_t>(best.steps))
+          .Int("work", best.work)
+          .Int("index_builds", builds)
+          .Int("index_hits", hits)
+          .EndRow();
+    }
+  }
+  json.Write("BENCH_" + bench_name + ".json");
 }
 
 /// Builds the APSP/TC program over any POPS.

@@ -8,7 +8,6 @@
 #define DATALOGO_DATALOG_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -43,13 +42,17 @@ struct EngineOptions {
 };
 
 /// Relational evaluation of a datalog° program over a naturally ordered
-/// semiring. Compiles each sum-product into a join plan once, then applies
-/// the ICO by index nested-loop joins over relation supports.
+/// semiring. Compiles each sum-product into a flat join program once —
+/// index-key sources, per-entry bind/check slots, head slots — then
+/// applies the ICO by iterative index nested-loop joins over relation
+/// supports, reusing preallocated per-disjunct buffers so the inner loop
+/// does not allocate.
 ///
 /// Thread safety: the evaluation entry points are const but memoize
-/// RelationIndexes in mutable caches, so one Engine must not be shared
-/// across threads without external synchronization (use one Engine per
-/// thread — compilation is cheap).
+/// RelationIndexes and reuse evaluation scratch buffers through mutable
+/// members, so one Engine must not be shared across threads without
+/// external synchronization (use one Engine per thread — compilation is
+/// cheap).
 template <NaturallyOrderedSemiring P>
 class Engine {
  public:
@@ -160,23 +163,14 @@ class Engine {
           if (occurrences == 0) continue;  // the EDB-only part E_i, Eq. (65)
           for (int ell = 0; ell < occurrences; ++ell) {
             auto resolver = [&](int atom_index) -> const Relation<P>& {
-              int pred = cr.rule->disjuncts[cd.disjunct_index]
-                             .atoms[atom_index]
-                             .pred;
-              // Which IDB occurrence is this atom?
-              int occ = -1;
-              for (int k = 0; k < occurrences; ++k) {
-                if (cd.idb_atoms[k] == atom_index) {
-                  occ = k;
-                  break;
-                }
-              }
+              int pred = cd.sp->atoms[atom_index].pred;
+              int occ = cd.occ_of_atom[atom_index];
               DLO_CHECK(occ >= 0);
               if (occ < ell) return t_new.idb(pred);
               if (occ == ell) return delta.idb(pred);
               return t_old.idb(pred);
             };
-            EvalDisjunct(cr, cd, resolver,
+            EvalDisjunct(cd, resolver,
                          &candidate.idb(cr.rule->head.pred), &work);
           }
         }
@@ -211,12 +205,35 @@ class Engine {
  private:
   static constexpr ConstId kUnbound = static_cast<ConstId>(-1);
 
-  /// One join generator: a POPS atom or a positive Boolean condition atom.
+  /// Where a key or head slot gets its constant from: a rule-variable slot
+  /// (var ≥ 0, statically guaranteed bound by then) or a literal constant.
+  struct ValueSource {
+    int var = -1;
+    ConstId constant = 0;
+  };
+
+  /// What to do with one non-key position of a matched index entry:
+  /// bind a fresh variable from it, or check it against a variable bound
+  /// earlier within the same atom (repeated-variable pattern, e.g. E(X,X)).
+  struct EntryOp {
+    enum class Kind : uint8_t { kBind, kCheck };
+    Kind kind = Kind::kBind;
+    int pos = 0;  ///< argument position in the matched tuple
+    int var = 0;  ///< rule-variable slot to bind or compare
+  };
+
+  /// One join generator — a POPS atom or a positive Boolean condition atom
+  /// — compiled to a flat program step: which positions form the index
+  /// key, where each key constant comes from, and what each remaining
+  /// position binds or checks. No Term inspection happens at run time.
   struct Generator {
     bool is_bool = false;
+    bool is_idb = false;       ///< resolve through the per-call resolver
+    int pred = -1;
     int atom_index = -1;       ///< into sp.atoms or sp.conditions
-    const Atom* atom = nullptr;
-    std::vector<int> key_positions;  ///< arg positions bound beforehand
+    std::vector<int> key_positions;   ///< arg positions bound beforehand
+    std::vector<ValueSource> key_sources;  ///< parallel to key_positions
+    std::vector<EntryOp> entry_ops;   ///< non-key positions, in arg order
   };
 
   struct CompiledDisjunct {
@@ -226,11 +243,29 @@ class Engine {
     std::vector<Generator> generators;
     std::vector<const Condition*> residual;
     std::vector<int> idb_atoms;  ///< indexes of IDB atoms in sp->atoms
+    std::vector<int> occ_of_atom;  ///< atom index → IDB occurrence, or -1
+    std::vector<ValueSource> head_sources;  ///< one per head argument
+    int scratch_id = -1;  ///< into scratch_ (reusable per-disjunct buffers)
   };
 
   struct CompiledRule {
     const Rule* rule = nullptr;
     std::vector<CompiledDisjunct> disjuncts;
+  };
+
+  /// Reusable evaluation buffers for one disjunct, sized at Compile()
+  /// time. Evaluating a disjunct allocates nothing: bindings, per-level
+  /// join keys, per-level accumulators and the head tuple all live here.
+  struct Scratch {
+    std::vector<ConstId> binding;          ///< rule-variable slots
+    std::vector<typename P::Value> acc;    ///< acc[g] = value entering level g
+    std::vector<Tuple> keys;               ///< per-level key buffers
+    Tuple head;                            ///< head tuple buffer
+    std::vector<const RelationIndex<P>*> pops_idx;
+    std::vector<const RelationIndex<BoolS>*> bool_idx;
+    std::vector<const typename RelationIndex<P>::EntryList*> pops_entries;
+    std::vector<const typename RelationIndex<BoolS>::EntryList*> bool_entries;
+    std::vector<std::size_t> next;         ///< per-level entry cursor
   };
 
   void Compile() {
@@ -279,15 +314,32 @@ class Engine {
           Generator g;
           g.is_bool = is_bool;
           g.atom_index = index;
-          g.atom = &a;
+          g.pred = a.pred;
+          g.is_idb =
+              !is_bool && prog_->predicate(a.pred).kind == PredKind::kIdb;
+          // One pass over the argument positions: positions whose value is
+          // known before this generator (constants and already-bound
+          // variables) become index-key slots; the rest become bind/check
+          // ops executed per matched entry, in argument order, so a
+          // repeated variable is bound by its first occurrence before its
+          // later occurrences compare against it.
+          std::vector<bool> bound_before = bound;
           for (std::size_t p = 0; p < a.args.size(); ++p) {
             const Term& t = a.args[p];
-            if (!t.IsVar() || bound[t.var]) {
+            if (!t.IsVar()) {
               g.key_positions.push_back(static_cast<int>(p));
+              g.key_sources.push_back(ValueSource{-1, t.constant});
+            } else if (bound_before[t.var]) {
+              g.key_positions.push_back(static_cast<int>(p));
+              g.key_sources.push_back(ValueSource{t.var, 0});
+            } else if (!bound[t.var]) {
+              g.entry_ops.push_back(
+                  EntryOp{EntryOp::Kind::kBind, static_cast<int>(p), t.var});
+              bound[t.var] = true;
+            } else {
+              g.entry_ops.push_back(
+                  EntryOp{EntryOp::Kind::kCheck, static_cast<int>(p), t.var});
             }
-          }
-          for (const Term& t : a.args) {
-            if (t.IsVar()) bound[t.var] = true;
           }
           cd.generators.push_back(std::move(g));
         };
@@ -324,6 +376,43 @@ class Engine {
           }
           if (!is_generator) cd.residual.push_back(&c);
         }
+
+        // O(1) atom-index → IDB-occurrence map for the semi-naive
+        // differential rule (Eq. 64): the resolver must not re-scan
+        // idb_atoms on every atom resolution of every iteration.
+        cd.occ_of_atom.assign(sp.atoms.size(), -1);
+        for (std::size_t k = 0; k < cd.idb_atoms.size(); ++k) {
+          cd.occ_of_atom[cd.idb_atoms[k]] = static_cast<int>(k);
+        }
+
+        // Head slots: range restriction (validate.cc) guarantees every
+        // head variable is bound once all generators have run.
+        for (const Term& t : rule.head.args) {
+          if (t.IsVar()) {
+            DLO_CHECK_MSG(bound[t.var], "unbound head variable");
+            cd.head_sources.push_back(ValueSource{t.var, 0});
+          } else {
+            cd.head_sources.push_back(ValueSource{-1, t.constant});
+          }
+        }
+
+        // Reusable evaluation buffers, exactly sized for this disjunct.
+        cd.scratch_id = static_cast<int>(scratch_.size());
+        Scratch sc;
+        sc.binding.assign(rule.num_vars, kUnbound);
+        sc.acc.assign(cd.generators.size() + 1, P::One());
+        sc.keys.reserve(cd.generators.size());
+        for (const Generator& g : cd.generators) {
+          sc.keys.emplace_back(g.key_positions.size(), 0);
+        }
+        sc.head = Tuple(rule.head.args.size(), 0);
+        sc.pops_idx.resize(cd.generators.size());
+        sc.bool_idx.resize(cd.generators.size());
+        sc.pops_entries.resize(cd.generators.size());
+        sc.bool_entries.resize(cd.generators.size());
+        sc.next.resize(cd.generators.size());
+        scratch_.push_back(std::move(sc));
+
         cr.disjuncts.push_back(std::move(cd));
       }
       compiled_.push_back(std::move(cr));
@@ -350,11 +439,9 @@ class Engine {
                  IdbInstance<P>* out, uint64_t* work) const {
     for (const CompiledDisjunct& cd : cr.disjuncts) {
       auto resolver = [&](int atom_index) -> const Relation<P>& {
-        int pred =
-            cr.rule->disjuncts[cd.disjunct_index].atoms[atom_index].pred;
-        return j.idb(pred);
+        return j.idb(cd.sp->atoms[atom_index].pred);
       };
-      EvalDisjunct(cr, cd, resolver, &out->idb(cr.rule->head.pred), work);
+      EvalDisjunct(cd, resolver, &out->idb(cr.rule->head.pred), work);
     }
   }
 
@@ -406,121 +493,152 @@ class Engine {
     return false;
   }
 
+  /// Residual checks + zero filter + head construction for one complete
+  /// join binding; merges the result into `out`. Uses the disjunct's
+  /// preallocated head buffer — no allocation on this path.
+  void EmitHead(const CompiledDisjunct& cd, const typename P::Value& acc,
+                Relation<P>* out) const {
+    Scratch& sc = scratch_[cd.scratch_id];
+    for (const Condition* c : cd.residual) {
+      if (!CheckCondition(*c, sc.binding)) return;
+    }
+    if (P::Eq(acc, P::Zero())) return;
+    for (std::size_t i = 0; i < cd.head_sources.size(); ++i) {
+      const ValueSource& s = cd.head_sources[i];
+      sc.head[i] = s.var >= 0 ? sc.binding[s.var] : s.constant;
+    }
+    out->Merge(sc.head, acc);
+  }
+
   /// Evaluates one sum-product under `resolver` (mapping IDB atom indexes
   /// to the relation instance to read), merging results into `out`.
+  ///
+  /// Executes the compiled flat join program with an explicit iterative
+  /// loop over generator levels: per level, the key buffer is filled from
+  /// precomputed sources, looked up in the (cached) index, and each entry
+  /// runs its bind/check ops — no recursion, no per-entry allocation, no
+  /// Term re-inspection. Unbinding on backtrack is unnecessary: which
+  /// variables are bound at each level is static, so stale slots are
+  /// always overwritten before being read.
   template <typename Resolver>
-  void EvalDisjunct(const CompiledRule& cr, const CompiledDisjunct& cd,
-                    Resolver&& resolver, Relation<P>* out,
-                    uint64_t* work) const {
-    std::vector<ConstId> binding(cr.rule->num_vars, kUnbound);
-    for (const auto& [v, c] : cd.prebindings) binding[v] = c;
+  void EvalDisjunct(const CompiledDisjunct& cd, Resolver&& resolver,
+                    Relation<P>* out, uint64_t* work) const {
+    Scratch& sc = scratch_[cd.scratch_id];
+    for (const auto& [v, c] : cd.prebindings) sc.binding[v] = c;
+
+    const std::size_t levels = cd.generators.size();
 
     // Per-generator indexes: served from the engine-level cache (invalid
     // the moment the underlying relation mutates) or, with caching off,
     // rebuilt into locals exactly as the seed engine did.
-    std::vector<const RelationIndex<P>*> pops_idx(cd.generators.size(),
-                                                  nullptr);
-    std::vector<const RelationIndex<BoolS>*> bool_idx(cd.generators.size(),
-                                                      nullptr);
     std::vector<std::unique_ptr<RelationIndex<P>>> local_pops;
     std::vector<std::unique_ptr<RelationIndex<BoolS>>> local_bool;
-    for (std::size_t g = 0; g < cd.generators.size(); ++g) {
+    for (std::size_t g = 0; g < levels; ++g) {
       const Generator& gen = cd.generators[g];
       if (gen.is_bool) {
-        const Relation<BoolS>& rel = edb_->boolean(gen.atom->pred);
+        const Relation<BoolS>& rel = edb_->boolean(gen.pred);
         if (options_.cache_indexes) {
-          bool_idx[g] = &bool_cache_.Get(rel, gen.key_positions);
+          sc.bool_idx[g] = &bool_cache_.Get(rel, gen.key_positions);
         } else {
           ++uncached_builds_;
           local_bool.push_back(
               std::make_unique<RelationIndex<BoolS>>(rel,
                                                      gen.key_positions));
-          bool_idx[g] = local_bool.back().get();
+          sc.bool_idx[g] = local_bool.back().get();
         }
       } else {
         const Relation<P>& rel =
-            prog_->predicate(gen.atom->pred).kind == PredKind::kIdb
-                ? resolver(gen.atom_index)
-                : edb_->pops(gen.atom->pred);
+            gen.is_idb ? resolver(gen.atom_index) : edb_->pops(gen.pred);
         if (options_.cache_indexes) {
-          pops_idx[g] = &pops_cache_.Get(rel, gen.key_positions);
+          sc.pops_idx[g] = &pops_cache_.Get(rel, gen.key_positions);
         } else {
           ++uncached_builds_;
           local_pops.push_back(
               std::make_unique<RelationIndex<P>>(rel, gen.key_positions));
-          pops_idx[g] = local_pops.back().get();
+          sc.pops_idx[g] = local_pops.back().get();
         }
       }
     }
 
-    // Recursive index nested-loop join.
-    std::function<void(std::size_t, typename P::Value)> recurse =
-        [&](std::size_t g, typename P::Value acc) {
-          if (g == cd.generators.size()) {
-            for (const Condition* c : cd.residual) {
-              if (!CheckCondition(*c, binding)) return;
-            }
-            if (P::Eq(acc, P::Zero())) return;
-            Tuple head;
-            head.reserve(cr.rule->head.args.size());
-            for (const Term& t : cr.rule->head.args) {
-              ConstId id = GroundTerm(t, binding);
-              DLO_CHECK_MSG(id != kUnbound, "unbound head variable");
-              head.push_back(id);
-            }
-            out->Merge(head, acc);
-            return;
-          }
-          const Generator& gen = cd.generators[g];
-          Tuple key;
-          key.reserve(gen.key_positions.size());
-          for (int p : gen.key_positions) {
-            ConstId id = GroundTerm(gen.atom->args[p], binding);
-            DLO_CHECK(id != kUnbound);
-            key.push_back(id);
-          }
-          auto try_entry = [&](const Tuple& tuple,
-                               const typename P::Value* value) {
-            ++*work;
-            // Dynamic consistency check + binding of new variables.
-            std::vector<int> bound_here;
-            for (std::size_t p = 0; p < gen.atom->args.size(); ++p) {
-              const Term& t = gen.atom->args[p];
-              ConstId expect = GroundTerm(t, binding);
-              if (expect != kUnbound) {
-                if (expect != tuple[p]) {
-                  for (int v : bound_here) binding[v] = kUnbound;
-                  return;
-                }
-              } else {
-                binding[t.var] = tuple[p];
-                bound_here.push_back(t.var);
-              }
-            }
-            typename P::Value next_acc =
-                value ? P::Times(acc, *value) : acc;
-            recurse(g + 1, std::move(next_acc));
-            for (int v : bound_here) binding[v] = kUnbound;
-          };
-          if (gen.is_bool) {
-            for (const auto* entry : bool_idx[g]->Lookup(key)) {
-              try_entry(entry->first, nullptr);
-            }
-          } else {
-            for (const auto* entry : pops_idx[g]->Lookup(key)) {
-              try_entry(entry->first, &entry->second);
-            }
-          }
-        };
-    recurse(0, P::One());
+    if (levels == 0) {
+      EmitHead(cd, P::One(), out);
+      return;
+    }
+
+    // Fills level `lvl`'s key buffer from the current binding and points
+    // its cursor at the matching entry list.
+    auto enter_level = [&](std::size_t lvl) {
+      const Generator& gen = cd.generators[lvl];
+      Tuple& key = sc.keys[lvl];
+      for (std::size_t i = 0; i < gen.key_sources.size(); ++i) {
+        const ValueSource& s = gen.key_sources[i];
+        key[i] = s.var >= 0 ? sc.binding[s.var] : s.constant;
+      }
+      if (gen.is_bool) {
+        sc.bool_entries[lvl] = &sc.bool_idx[lvl]->Lookup(key);
+      } else {
+        sc.pops_entries[lvl] = &sc.pops_idx[lvl]->Lookup(key);
+      }
+      sc.next[lvl] = 0;
+    };
+
+    sc.acc[0] = P::One();
+    std::size_t g = 0;
+    enter_level(0);
+    for (;;) {
+      const Generator& gen = cd.generators[g];
+      const Tuple* tuple;
+      const typename P::Value* value = nullptr;
+      if (gen.is_bool) {
+        const auto& entries = *sc.bool_entries[g];
+        if (sc.next[g] == entries.size()) {
+          if (g == 0) break;
+          --g;
+          continue;
+        }
+        tuple = &entries[sc.next[g]]->first;
+      } else {
+        const auto& entries = *sc.pops_entries[g];
+        if (sc.next[g] == entries.size()) {
+          if (g == 0) break;
+          --g;
+          continue;
+        }
+        tuple = &entries[sc.next[g]]->first;
+        value = &entries[sc.next[g]]->second;
+      }
+      ++sc.next[g];
+      ++*work;
+      bool matched = true;
+      for (const EntryOp& op : gen.entry_ops) {
+        ConstId got = (*tuple)[op.pos];
+        if (op.kind == EntryOp::Kind::kBind) {
+          sc.binding[op.var] = got;
+        } else if (sc.binding[op.var] != got) {
+          matched = false;
+          break;
+        }
+      }
+      if (!matched) continue;
+      sc.acc[g + 1] = value ? P::Times(sc.acc[g], *value) : sc.acc[g];
+      if (g + 1 == levels) {
+        EmitHead(cd, sc.acc[levels], out);
+      } else {
+        ++g;
+        enter_level(g);
+      }
+    }
   }
 
   const Program* prog_;
   const EdbInstance<P>* edb_;
   EngineOptions options_;
   std::vector<CompiledRule> compiled_;
-  // Mutable: evaluation entry points are const, but memoizing indexes (and
-  // counting builds) is invisible to callers.
+  // Mutable: evaluation entry points are const, but memoizing indexes,
+  // counting builds, and reusing per-disjunct evaluation buffers are all
+  // invisible to callers (and are why one Engine is not shareable across
+  // threads — see the class comment).
+  mutable std::vector<Scratch> scratch_;  ///< one per compiled disjunct
   mutable IndexCache<P> pops_cache_;
   mutable IndexCache<BoolS> bool_cache_;
   mutable uint64_t uncached_builds_ = 0;

@@ -46,7 +46,7 @@ class GroundedProgram {
     Tuple key;
     key.reserve(t.size() + 1);
     key.push_back(static_cast<ConstId>(pred));
-    key.insert(key.end(), t.begin(), t.end());
+    key.append(t.begin(), t.end());
     auto it = var_lookup_.find(key);
     return it == var_lookup_.end() ? -1 : it->second;
   }
@@ -99,7 +99,7 @@ GroundedProgram<P> GroundProgram(const Program& prog,
         Tuple key;
         key.reserve(arity + 1);
         key.push_back(static_cast<ConstId>(pred));
-        key.insert(key.end(), t.begin(), t.end());
+        key.append(t.begin(), t.end());
         var_lookup.emplace(key, static_cast<int>(atom_of_var.size()));
         atom_of_var.emplace_back(pred, t);
         return;
@@ -118,7 +118,7 @@ GroundedProgram<P> GroundProgram(const Program& prog,
     Tuple key;
     key.reserve(t.size() + 1);
     key.push_back(static_cast<ConstId>(pred));
-    key.insert(key.end(), t.begin(), t.end());
+    key.append(t.begin(), t.end());
     auto it = var_lookup.find(key);
     DLO_CHECK(it != var_lookup.end());
     return it->second;

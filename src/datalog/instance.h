@@ -104,11 +104,8 @@ class IdbInstance {
   }
 
   bool Equals(const IdbInstance& other) const {
-    for (std::size_t i = 0; i < rels_.size(); ++i) {
-      if (prog_->predicate(static_cast<int>(i)).kind != PredKind::kIdb) {
-        continue;
-      }
-      if (!rels_[i].Equals(other.rels_[i])) return false;
+    for (int pred : prog_->IdbPredicates()) {
+      if (!rels_[pred].Equals(other.rels_[pred])) return false;
     }
     return true;
   }
@@ -116,11 +113,7 @@ class IdbInstance {
   /// Total support size across IDB relations.
   std::size_t TotalSupport() const {
     std::size_t n = 0;
-    for (std::size_t i = 0; i < rels_.size(); ++i) {
-      if (prog_->predicate(static_cast<int>(i)).kind == PredKind::kIdb) {
-        n += rels_[i].support_size();
-      }
-    }
+    for (int pred : prog_->IdbPredicates()) n += rels_[pred].support_size();
     return n;
   }
 

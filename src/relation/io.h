@@ -51,6 +51,8 @@ Status LoadTsv(const std::string& text, Domain* dom, Relation<P>* rel,
   std::istringstream is(text);
   std::string line;
   int lineno = 0;
+  Tuple t;  // reused across lines; Merge copies it into the relation
+  t.reserve(rel->arity());
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
@@ -62,8 +64,7 @@ Status LoadTsv(const std::string& text, Domain* dom, Relation<P>* rel,
                              " keys + 1 value, got " +
                              std::to_string(toks.size()) + " columns");
     }
-    Tuple t;
-    t.reserve(rel->arity());
+    t.clear();
     for (int i = 0; i < rel->arity(); ++i) {
       t.push_back(io_internal::InternToken(toks[i], dom));
     }
@@ -83,6 +84,8 @@ inline Status LoadTsvBool(const std::string& text, Domain* dom,
   std::istringstream is(text);
   std::string line;
   int lineno = 0;
+  Tuple t;  // reused across lines; Set copies it into the relation
+  t.reserve(rel->arity());
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
@@ -93,7 +96,7 @@ inline Status LoadTsvBool(const std::string& text, Domain* dom,
                              ": expected " + std::to_string(rel->arity()) +
                              " key columns");
     }
-    Tuple t;
+    t.clear();
     for (const std::string& tok : toks) {
       t.push_back(io_internal::InternToken(tok, dom));
     }

@@ -82,11 +82,13 @@ class Relation {
   /// Sets the value, maintaining the support invariant (⊥ values erase).
   void Set(const Tuple& t, Value v) {
     DLO_CHECK(static_cast<int>(t.size()) == arity_);
-    ++version_;
     if (P::Eq(v, P::Bottom())) {
-      data_.erase(t);
+      // Erasing an absent tuple leaves the content unchanged; bumping the
+      // version would invalidate cached indexes for nothing.
+      if (data_.erase(t) > 0) ++version_;
     } else {
       data_[t] = std::move(v);
+      ++version_;
     }
   }
 
@@ -155,23 +157,25 @@ class Relation {
 template <Pops P>
 class RelationIndex {
  public:
+  /// One indexed support entry: a pointer into the relation's storage.
+  using Entry = const std::pair<const Tuple, typename P::Value>*;
+  using EntryList = std::vector<Entry>;
+
   /// Builds an index of `rel` on the given positions.
   RelationIndex(const Relation<P>& rel, std::vector<int> positions)
       : positions_(std::move(positions)) {
+    Tuple key(positions_.size(), 0);
     for (const auto& kv : rel.tuples()) {
-      Tuple key;
-      key.reserve(positions_.size());
-      for (int p : positions_) key.push_back(kv.first[p]);
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        key[i] = kv.first[positions_[i]];
+      }
       index_[key].push_back(&kv);
     }
   }
 
   /// All support entries whose projection matches `key`.
-  const std::vector<const std::pair<const Tuple, typename P::Value>*>& Lookup(
-      const Tuple& key) const {
-    static const std::vector<
-        const std::pair<const Tuple, typename P::Value>*>
-        kEmpty;
+  const EntryList& Lookup(const Tuple& key) const {
+    static const EntryList kEmpty;
     auto it = index_.find(key);
     return it == index_.end() ? kEmpty : it->second;
   }
@@ -180,11 +184,7 @@ class RelationIndex {
 
  private:
   std::vector<int> positions_;
-  std::unordered_map<Tuple,
-                     std::vector<const std::pair<const Tuple,
-                                                 typename P::Value>*>,
-                     TupleHash>
-      index_;
+  std::unordered_map<Tuple, EntryList, TupleHash> index_;
 };
 
 /// Memoizes RelationIndexes keyed by (relation identity, position set).

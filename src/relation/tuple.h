@@ -1,16 +1,189 @@
 // Tuples over the key space: fixed-arity sequences of interned ConstIds.
+//
+// Tuple is a small-buffer-optimized sequence: tuples of arity ≤ 4 (the
+// overwhelmingly common case — every paper workload is arity 1 or 2) live
+// entirely inline, so relation maps, index keys and head tuples involve no
+// heap traffic. Larger tuples spill to the heap with vector-like growth.
+// Hashing, equality and lexicographic ordering match the semantics of the
+// previous `std::vector<ConstId>` representation exactly.
 #ifndef DATALOGO_RELATION_TUPLE_H_
 #define DATALOGO_RELATION_TUPLE_H_
 
-#include <vector>
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
 
 #include "src/core/hash.h"
 #include "src/relation/domain.h"
 
 namespace datalogo {
 
-/// A ground tuple t ∈ D^k.
-using Tuple = std::vector<ConstId>;
+/// A ground tuple t ∈ D^k with inline storage for k ≤ kInlineCapacity.
+class Tuple {
+ public:
+  using value_type = ConstId;
+  using iterator = ConstId*;
+  using const_iterator = const ConstId*;
+
+  /// Arity up to which a tuple is stored inline (no heap allocation).
+  static constexpr std::size_t kInlineCapacity = 4;
+
+  Tuple() noexcept : size_(0), capacity_(kInlineCapacity) {}
+
+  /// A tuple of `n` copies of `fill` (mirrors vector's (n, value) form).
+  explicit Tuple(std::size_t n, ConstId fill = 0)
+      : size_(0), capacity_(kInlineCapacity) {
+    reserve(n);
+    std::fill_n(data(), n, fill);
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  Tuple(std::initializer_list<ConstId> init)
+      : size_(0), capacity_(kInlineCapacity) {
+    reserve(init.size());
+    std::copy(init.begin(), init.end(), data());
+    size_ = static_cast<uint32_t>(init.size());
+  }
+
+  template <typename It, typename = std::enable_if_t<
+                             !std::is_integral_v<It>>>  // not the (n, fill) form
+  Tuple(It first, It last) : size_(0), capacity_(kInlineCapacity) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  Tuple(const Tuple& other) : size_(other.size_), capacity_(kInlineCapacity) {
+    // Inline-sized contents always land inline (even when the source had
+    // spilled), preserving the invariant that heap capacity is strictly
+    // greater than kInlineCapacity — the push_back doubling relies on it.
+    if (other.size_ <= kInlineCapacity) {
+      std::memcpy(inline_, other.data(), other.size_ * sizeof(ConstId));
+    } else {
+      heap_ = new ConstId[other.size_];
+      capacity_ = other.size_;
+      std::memcpy(heap_, other.heap_, other.size_ * sizeof(ConstId));
+    }
+  }
+
+  Tuple(Tuple&& other) noexcept
+      : size_(other.size_), capacity_(other.capacity_) {
+    if (other.is_inline()) {
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(ConstId));
+    } else {
+      heap_ = other.heap_;
+      other.capacity_ = kInlineCapacity;
+    }
+    other.size_ = 0;
+  }
+
+  Tuple& operator=(const Tuple& other) {
+    if (this == &other) return *this;
+    if (other.size_ <= capacity_) {
+      // Reuse existing storage (inline or a large-enough heap block) —
+      // this is the no-allocation path reusable key buffers rely on.
+      std::memcpy(data(), other.data(), other.size_ * sizeof(ConstId));
+      size_ = other.size_;
+      return *this;
+    }
+    Tuple copy(other);
+    swap(copy);
+    return *this;
+  }
+
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this == &other) return *this;
+    if (!is_inline()) delete[] heap_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    if (other.is_inline()) {
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+      capacity_ = kInlineCapacity;
+    } else {
+      heap_ = other.heap_;
+      other.capacity_ = kInlineCapacity;
+    }
+    other.size_ = 0;
+    return *this;
+  }
+
+  ~Tuple() {
+    if (!is_inline()) delete[] heap_;
+  }
+
+  void swap(Tuple& other) noexcept {
+    Tuple tmp(std::move(other));
+    other = std::move(*this);
+    *this = std::move(tmp);
+  }
+
+  ConstId* data() { return is_inline() ? inline_ : heap_; }
+  const ConstId* data() const { return is_inline() ? inline_ : heap_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  ConstId& operator[](std::size_t i) { return data()[i]; }
+  ConstId operator[](std::size_t i) const { return data()[i]; }
+
+  ConstId front() const { return data()[0]; }
+  ConstId back() const { return data()[size_ - 1]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  /// Ensures capacity ≥ n; never shrinks and keeps contents.
+  void reserve(std::size_t n) {
+    if (n <= capacity_) return;
+    ConstId* block = new ConstId[n];
+    std::memcpy(block, data(), size_ * sizeof(ConstId));
+    if (!is_inline()) delete[] heap_;
+    heap_ = block;
+    capacity_ = static_cast<uint32_t>(n);
+  }
+
+  void push_back(ConstId c) {
+    if (size_ == capacity_) reserve(capacity_ * 2);
+    data()[size_++] = c;
+  }
+
+  /// Appends [first, last) — the vector::insert(end, …) idiom.
+  template <typename It>
+  void append(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void clear() { size_ = 0; }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_ * sizeof(ConstId)) == 0;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+
+  /// Lexicographic, matching std::vector<ConstId> ordering.
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+  friend bool operator>(const Tuple& a, const Tuple& b) { return b < a; }
+  friend bool operator<=(const Tuple& a, const Tuple& b) { return !(b < a); }
+  friend bool operator>=(const Tuple& a, const Tuple& b) { return !(a < b); }
+
+ private:
+  bool is_inline() const { return capacity_ == kInlineCapacity; }
+
+  uint32_t size_;
+  uint32_t capacity_;  ///< == kInlineCapacity ⇔ inline storage is active
+  union {
+    ConstId inline_[kInlineCapacity];
+    ConstId* heap_;
+  };
+};
 
 /// Hash functor for tuples (for unordered containers).
 struct TupleHash {

@@ -1,48 +1,84 @@
 #include "src/wf/wellfounded.h"
 
+#include <utility>
+
 #include "src/core/check.h"
 
 namespace datalogo {
 namespace {
 
-/// Least fixpoint of the positive program obtained by freezing negative
-/// literals against `frozen`.
-std::vector<bool> InnerLfp(const NegProgram& prog,
-                           const std::vector<bool>& frozen) {
-  std::vector<bool> j(prog.num_atoms, false);
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const GroundRuleNeg& r : prog.rules) {
-      if (j[r.head]) continue;
-      bool fires = true;
-      for (int a : r.pos_body) {
-        if (!j[a]) {
-          fires = false;
+/// Precomputed evaluation structure for the inner least-fixpoint: for
+/// each atom, the rules whose positive body mentions it (so deriving an
+/// atom wakes exactly the rules it can help fire), plus per-rule counters
+/// reused across all InnerLfp calls of one alternating-fixpoint run —
+/// the same compile-once/run-many shape as the relational engine's flat
+/// join programs.
+class InnerLfpProgram {
+ public:
+  explicit InnerLfpProgram(const NegProgram& prog) : prog_(&prog) {
+    watchers_.resize(prog.num_atoms);
+    for (std::size_t r = 0; r < prog.rules.size(); ++r) {
+      for (int a : prog.rules[r].pos_body) {
+        watchers_[a].push_back(static_cast<int>(r));
+      }
+    }
+    missing_.resize(prog.rules.size());
+  }
+
+  /// Least fixpoint of the positive program obtained by freezing negative
+  /// literals against `frozen`.
+  std::vector<bool> Run(const std::vector<bool>& frozen) {
+    const NegProgram& prog = *prog_;
+    std::vector<bool> j(prog.num_atoms, false);
+    worklist_.clear();
+    auto derive = [&](int atom) {
+      if (!j[atom]) {
+        j[atom] = true;
+        worklist_.push_back(atom);
+      }
+    };
+    for (std::size_t r = 0; r < prog.rules.size(); ++r) {
+      const GroundRuleNeg& rule = prog.rules[r];
+      missing_[r] = static_cast<int>(rule.pos_body.size());
+      bool blocked = false;
+      for (int a : rule.neg_body) {
+        if (frozen[a]) {
+          blocked = true;
           break;
         }
       }
-      if (fires) {
-        for (int a : r.neg_body) {
-          if (frozen[a]) {
-            fires = false;
-            break;
-          }
-        }
-      }
-      if (fires) {
-        j[r.head] = true;
-        changed = true;
+      if (blocked) {
+        missing_[r] = -1;  // can never fire this round
+      } else if (missing_[r] == 0) {
+        derive(rule.head);
       }
     }
+    while (!worklist_.empty()) {
+      int atom = worklist_.back();
+      worklist_.pop_back();
+      for (int r : watchers_[atom]) {
+        // An atom repeated in one positive body decrements once per
+        // occurrence, matching the initial occurrence count.
+        if (missing_[r] > 0 && --missing_[r] == 0) {
+          derive(prog.rules[r].head);
+        }
+      }
+    }
+    return j;
   }
-  return j;
-}
+
+ private:
+  const NegProgram* prog_;
+  std::vector<std::vector<int>> watchers_;  ///< atom → rules watching it
+  std::vector<int> missing_;   ///< per-rule outstanding positive atoms
+  std::vector<int> worklist_;  ///< newly derived atoms to propagate
+};
 
 }  // namespace
 
 WellFoundedModel AlternatingFixpoint(const NegProgram& prog) {
   WellFoundedModel out;
+  InnerLfpProgram inner(prog);
   std::vector<bool> j(prog.num_atoms, false);
   out.trace.push_back(j);
   // The even subsequence increases, the odd one decreases; both are
@@ -50,7 +86,7 @@ WellFoundedModel AlternatingFixpoint(const NegProgram& prog) {
   // J(t) = J(t-2) for two consecutive t.
   int stable_pairs = 0;
   while (stable_pairs < 2) {
-    std::vector<bool> next = InnerLfp(prog, j);
+    std::vector<bool> next = inner.Run(j);
     out.trace.push_back(next);
     std::size_t n = out.trace.size();
     if (n >= 3 && out.trace[n - 1] == out.trace[n - 3]) {

@@ -1,0 +1,171 @@
+// The small-buffer-optimized Tuple: inline/heap boundary behaviour and
+// hash/equality/ordering agreement with the former std::vector<ConstId>
+// representation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "src/relation/tuple.h"
+
+namespace datalogo {
+namespace {
+
+Tuple FromVector(const std::vector<ConstId>& v) {
+  return Tuple(v.begin(), v.end());
+}
+
+TEST(Tuple, EmptyTuple) {
+  Tuple t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.begin(), t.end());
+  EXPECT_EQ(t, Tuple{});
+}
+
+TEST(Tuple, InlineBoundaryArities) {
+  // 0 and kInlineCapacity stay inline; kInlineCapacity + 1 and 16 spill.
+  for (std::size_t n : {std::size_t{0}, Tuple::kInlineCapacity,
+                        Tuple::kInlineCapacity + 1, std::size_t{16}}) {
+    std::vector<ConstId> ref(n);
+    for (std::size_t i = 0; i < n; ++i) ref[i] = static_cast<ConstId>(i * 7);
+    Tuple t = FromVector(ref);
+    ASSERT_EQ(t.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(t[i], ref[i]) << "n=" << n << " i=" << i;
+    }
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), ref.begin(), ref.end()));
+  }
+}
+
+TEST(Tuple, PushBackAcrossSpillBoundary) {
+  Tuple t;
+  std::vector<ConstId> ref;
+  for (ConstId c = 0; c < 16; ++c) {
+    t.push_back(c * 3 + 1);
+    ref.push_back(c * 3 + 1);
+    ASSERT_EQ(t.size(), ref.size());
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), ref.begin(), ref.end()));
+  }
+}
+
+TEST(Tuple, SizeFillConstructorMatchesVector) {
+  Tuple a(3, 9);
+  EXPECT_EQ(a.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(a[i], 9u);
+  Tuple b(7, 0);  // heap-backed
+  EXPECT_EQ(b.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(b[i], 0u);
+}
+
+TEST(Tuple, CopyAndMoveBothStorageModes) {
+  for (std::size_t n : {std::size_t{2}, std::size_t{12}}) {
+    std::vector<ConstId> ref(n);
+    for (std::size_t i = 0; i < n; ++i) ref[i] = static_cast<ConstId>(i + 1);
+    Tuple orig = FromVector(ref);
+    Tuple copy = orig;
+    EXPECT_EQ(copy, orig);
+    Tuple moved = std::move(orig);
+    EXPECT_EQ(moved, copy);
+    EXPECT_EQ(orig.size(), 0u);  // NOLINT: moved-from is empty by contract
+    // Assignment into existing storage (the reusable-buffer path).
+    Tuple target(n, 0);
+    target = copy;
+    EXPECT_EQ(target, copy);
+  }
+}
+
+TEST(Tuple, EqualityMatchesVectorSemantics) {
+  auto expect_agree = [](const std::vector<ConstId>& a,
+                         const std::vector<ConstId>& b) {
+    EXPECT_EQ(FromVector(a) == FromVector(b), a == b);
+    EXPECT_EQ(FromVector(a) != FromVector(b), a != b);
+  };
+  expect_agree({}, {});
+  expect_agree({1}, {1});
+  expect_agree({1}, {2});
+  expect_agree({1, 2}, {1, 2, 3});
+  expect_agree({1, 2, 3, 4, 5}, {1, 2, 3, 4, 5});
+  expect_agree({1, 2, 3, 4, 5}, {1, 2, 3, 4, 6});
+}
+
+TEST(Tuple, OrderingMatchesVectorLexicographic) {
+  std::vector<std::vector<ConstId>> cases = {
+      {},       {0},          {1},          {1, 2},          {1, 3},
+      {2},      {1, 2, 3},    {1, 2, 3, 4}, {1, 2, 3, 4, 5}, {2, 1},
+      {5, 0, 0, 0, 0, 1},     {5, 0, 0, 0, 0, 2},
+  };
+  for (const auto& a : cases) {
+    for (const auto& b : cases) {
+      EXPECT_EQ(FromVector(a) < FromVector(b), a < b)
+          << "lexicographic disagreement";
+      EXPECT_EQ(FromVector(a) <= FromVector(b), a <= b);
+      EXPECT_EQ(FromVector(a) > FromVector(b), a > b);
+      EXPECT_EQ(FromVector(a) >= FromVector(b), a >= b);
+    }
+  }
+}
+
+TEST(Tuple, HashMatchesHashRangeOverContents) {
+  // TupleHash must agree with hashing the raw id sequence — the exact
+  // function the vector-based TupleHash used — in both storage modes.
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{4},
+                        std::size_t{5}, std::size_t{16}}) {
+    std::vector<ConstId> ref(n);
+    for (std::size_t i = 0; i < n; ++i) ref[i] = static_cast<ConstId>(i * 11);
+    Tuple t = FromVector(ref);
+    EXPECT_EQ(TupleHash{}(t), HashRange(ref.begin(), ref.end())) << n;
+  }
+}
+
+TEST(Tuple, EqualTuplesHashEqualAcrossStorageModes) {
+  // A heap-backed tuple shrunk by clear()+push_back to inline-sized
+  // contents must equal (and hash like) a genuinely inline tuple.
+  Tuple heap(10, 0);
+  heap.clear();
+  heap.push_back(1);
+  heap.push_back(2);
+  Tuple inl{1, 2};
+  EXPECT_EQ(heap, inl);
+  EXPECT_EQ(TupleHash{}(heap), TupleHash{}(inl));
+  EXPECT_FALSE(heap < inl);
+  EXPECT_FALSE(inl < heap);
+}
+
+TEST(Tuple, WorksAsUnorderedSetKey) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert({1, 2});
+  set.insert({1, 2});
+  set.insert({2, 1});
+  set.insert(Tuple(8, 3));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count({1, 2}));
+  EXPECT_TRUE(set.count(Tuple(8, 3)));
+  EXPECT_FALSE(set.count({3, 3}));
+}
+
+TEST(Tuple, CopyOfClearedHeapTupleGrowsSafely) {
+  // Regression: copying a spilled-then-cleared tuple must not produce a
+  // zero-capacity heap block that push_back's doubling can never grow.
+  Tuple spilled(10, 7);
+  spilled.clear();
+  Tuple copy = spilled;
+  for (ConstId c = 0; c < 12; ++c) copy.push_back(c);
+  ASSERT_EQ(copy.size(), 12u);
+  for (ConstId c = 0; c < 12; ++c) EXPECT_EQ(copy[c], c);
+}
+
+TEST(Tuple, AppendAndReserve) {
+  Tuple t;
+  t.reserve(12);
+  std::vector<ConstId> ref = {4, 5, 6, 7, 8, 9};
+  t.push_back(3);
+  t.append(ref.begin(), ref.end());
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[0], 3u);
+  EXPECT_EQ(t[6], 9u);
+}
+
+}  // namespace
+}  // namespace datalogo
