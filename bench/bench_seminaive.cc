@@ -217,14 +217,16 @@ BENCHMARK(BM_ApspIndexCache<false>)
 BENCHMARK(BM_ApspIndexCache<true>)->Name("apsp_cached")->Arg(64)->Arg(128);
 
 // Machine-readable perf journal: BENCH_seminaive.json in the working
-// directory, with wall ms / iterations / work / index builds per engine,
-// so perf regressions surface in the trajectory without scraping stdout.
+// directory, with wall ms / iterations / work / index builds (total and
+// IDB/delta-attributed) per engine, so perf regressions surface in the
+// trajectory without scraping stdout.
 void WriteJson() {
   const bool smoke = BenchSmokeMode();
-  WriteEngineJson("seminaive", "APSP/Trop random graph (seed 9, m = 3n)",
-                  [](Domain* dom) { return ApspProgram(dom); },
-                  [](int n) { return RandomGraph(n, 3 * n, /*seed=*/9); },
-                  {smoke ? 32 : 64, smoke ? 64 : 128});
+  WriteEngineJson<TropS>("seminaive", "APSP/Trop random graph (seed 9, m = 3n)",
+                         [](Domain* dom) { return ApspProgram(dom); },
+                         [](int n) { return RandomGraph(n, 3 * n, /*seed=*/9); },
+                         [](const Edge& e) { return e.weight; },
+                         {smoke ? 32 : 64, smoke ? 64 : 128});
 }
 
 }  // namespace

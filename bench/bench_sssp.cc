@@ -71,10 +71,11 @@ BENCHMARK(BM_Sssp<true>)->Name("sssp_seminaive")->Arg(64)->Arg(256);
 // iterations / work / index builds for SSSP per engine.
 void WriteJson() {
   const bool smoke = BenchSmokeMode();
-  WriteEngineJson("sssp", "SSSP/Trop random graph (seed 7, m = 6n)",
-                  [](Domain* dom) { return SsspProgram(dom); },
-                  [](int n) { return RandomGraph(n, 6 * n, /*seed=*/7); },
-                  {smoke ? 64 : 256, smoke ? 128 : 512});
+  WriteEngineJson<TropS>("sssp", "SSSP/Trop random graph (seed 7, m = 6n)",
+                         [](Domain* dom) { return SsspProgram(dom); },
+                         [](int n) { return RandomGraph(n, 6 * n, /*seed=*/7); },
+                         [](const Edge& e) { return e.weight; },
+                         {smoke ? 64 : 256, smoke ? 128 : 512});
 }
 
 }  // namespace

@@ -133,11 +133,14 @@ class BenchJson {
 /// and each engine, times `reps` evaluations — a fresh Engine per rep,
 /// so every journaled counter describes exactly the one run whose wall
 /// time is reported (the best rep) rather than mixing best-of wall with
-/// lifetime-accumulated index counters.
-template <typename MakeProgram, typename MakeGraph>
+/// lifetime-accumulated index counters. Works over any naturally ordered
+/// semiring; the seminaive rows are emitted only when P supports ⊖
+/// (e.g. the Naturals lack it — those workloads journal naive rows).
+template <NaturallyOrderedSemiring P, typename MakeProgram,
+          typename MakeGraph, typename Lift>
 void WriteEngineJson(const std::string& bench_name,
                      const char* workload_desc, MakeProgram&& make_program,
-                     MakeGraph&& make_graph,
+                     MakeGraph&& make_graph, Lift&& lift,
                      std::initializer_list<int> sizes) {
   const bool smoke = BenchSmokeMode();
   const int reps = smoke ? 1 : 3;
@@ -149,24 +152,30 @@ void WriteEngineJson(const std::string& bench_name,
     Program prog = make_program(&dom).value();
     Graph g = make_graph(n);
     std::vector<ConstId> ids = InternVertices(n, &dom);
-    EdbInstance<TropS> edb(prog);
-    LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
-                     &edb.pops(prog.FindPredicate("E")));
+    EdbInstance<P> edb(prog);
+    LoadEdges<P>(g, ids, lift, &edb.pops(prog.FindPredicate("E")));
     for (bool semi : {false, true}) {
+      if (semi && !CompleteDistributiveDioid<P>) continue;
       double best_ms = -1.0;
-      EvalResult<TropS> best{IdbInstance<TropS>(prog)};
-      uint64_t builds = 0, hits = 0;
+      EvalResult<P> best{IdbInstance<P>(prog)};
+      uint64_t builds = 0, hits = 0, idb_builds = 0, idb_hits = 0;
       for (int rep = 0; rep < reps; ++rep) {
-        Engine<TropS> engine(prog, edb);
-        EvalResult<TropS> r{IdbInstance<TropS>(prog)};
+        Engine<P> engine(prog, edb);
+        EvalResult<P> r{IdbInstance<P>(prog)};
         double ms = WallMs([&] {
-          r = semi ? engine.SemiNaive(1 << 20) : engine.Naive(1 << 20);
+          if constexpr (CompleteDistributiveDioid<P>) {
+            r = semi ? engine.SemiNaive(1 << 20) : engine.Naive(1 << 20);
+          } else {
+            r = engine.Naive(1 << 20);
+          }
         });
         if (best_ms < 0 || ms < best_ms) {
           best_ms = ms;
           best = std::move(r);
           builds = engine.index_builds();
           hits = engine.index_hits();
+          idb_builds = engine.idb_index_builds();
+          idb_hits = engine.idb_index_hits();
         }
       }
       json.BeginRow()
@@ -177,6 +186,8 @@ void WriteEngineJson(const std::string& bench_name,
           .Int("work", best.work)
           .Int("index_builds", builds)
           .Int("index_hits", hits)
+          .Int("idb_index_builds", idb_builds)
+          .Int("idb_index_hits", idb_hits)
           .EndRow();
     }
   }

@@ -27,19 +27,20 @@ struct CompanyControl {
   ///   C(x,y)    = [T(x,y) > 0.5]
   bool Step() {
     Relation<RealPlusS> next_total(2);
-    for (const auto& [st, frac] : shares.tuples()) {
-      ConstId z = st[0], y = st[1];
+    shares.ForEachRow([&](uint32_t r) {
+      ConstId z = shares.Cell(r, 0), y = shares.Cell(r, 1);
+      double frac = shares.ValueAt(r);
       // x = z branch: x owns S(x,y) directly.
       next_total.Merge({z, y}, frac);
       // Controlled branch: every x with C(x,z) commands S(z,y).
       for (ConstId x : companies) {
         if (control.Get({x, z})) next_total.Merge({x, y}, frac);
       }
-    }
+    });
     Relation<BoolS> next_control(2);
-    for (const auto& [t, v] : next_total.tuples()) {
-      if (v > 0.5) next_control.Set(t, true);
-    }
+    next_total.ForEachRow([&](uint32_t r) {
+      if (next_total.ValueAt(r) > 0.5) next_control.Set(next_total.View(r), true);
+    });
     bool changed =
         !next_total.Equals(total) || !next_control.Equals(control);
     total = std::move(next_total);

@@ -71,6 +71,11 @@ class Engine {
   uint64_t index_hits() const {
     return pops_cache_.hits() + bool_cache_.hits();
   }
+  /// Cache traffic attributable to IDB relations (deltas, T(t), T(t-1));
+  /// EDB indexes are built once per run, so these counters isolate how
+  /// well the per-iteration delta indexes amortize.
+  uint64_t idb_index_builds() const { return idb_index_builds_; }
+  uint64_t idb_index_hits() const { return idb_index_hits_; }
 
   /// Algorithm 1: J ← F(J) from ⊥ until fixpoint (or budget).
   EvalResult<P> Naive(int max_steps) const {
@@ -87,10 +92,14 @@ class Engine {
                                const IdbInstance<P>& frozen,
                                int max_steps) const {
     IdbInstance<P> j = frozen;
+    // `next` persists across iterations: content moves into `j` through
+    // the stable Relation objects (TakeContentsFrom), so the index cache
+    // stays keyed to live uids instead of orphaning entries every round.
+    IdbInstance<P> next = frozen;
     uint64_t work = 0;
     for (int t = 0; t < max_steps; ++t) {
       SweepCaches();
-      IdbInstance<P> next = frozen;
+      if (t > 0) next.CopyContentsFrom(frozen);
       for (int r : rule_ids) {
         DLO_CHECK(r >= 0 && r < static_cast<int>(compiled_.size()));
         ApplyRule(compiled_[r], j, &next, &work);
@@ -98,7 +107,8 @@ class Engine {
       if (next.Equals(j)) {
         return {std::move(j), t, true, work};
       }
-      j = std::move(next);
+      j.TakeContentsFrom(&next);
+      j.CompactAll();  // tombstone hygiene between fixpoint iterations
     }
     return {std::move(j), max_steps, false, work};
   }
@@ -111,17 +121,23 @@ class Engine {
     requires CompleteDistributiveDioid<P>
   {
     IdbInstance<P> j(*prog_);
+    IdbInstance<P> f(*prog_);  // persistent: Clear + refill per iteration
     uint64_t work = 0;
     for (int t = 0; t < max_steps; ++t) {
       SweepCaches();
-      IdbInstance<P> f(*prog_);
+      f.ClearAll();
       ApplyIco(j, &f, &work);
       bool any_delta = false;
       for (int pred : prog_->IdbPredicates()) {
-        for (const auto& [tuple, fv] : f.idb(pred).tuples()) {
-          typename P::Value d = P::Minus(fv, j.idb(pred).Get(tuple));
+        const Relation<P>& f_rel = f.idb(pred);
+        Relation<P>& j_rel = j.idb(pred);
+        const uint32_t rows = f_rel.num_rows();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!f_rel.RowLive(r)) continue;
+          typename P::Value d =
+              P::Minus(f_rel.ValueAt(r), j_rel.Get(f_rel.View(r)));
           if (!P::Eq(d, P::Zero())) {
-            j.idb(pred).Merge(tuple, d);
+            j_rel.Merge(f_rel.View(r), d);
             any_delta = true;
           }
         }
@@ -129,6 +145,7 @@ class Engine {
       if (!any_delta) {
         return {std::move(j), t, true, work};
       }
+      j.CompactAll();  // tombstone hygiene between fixpoint iterations
     }
     return {std::move(j), max_steps, false, work};
   }
@@ -151,12 +168,19 @@ class Engine {
       if (!delta.idb(pred).empty()) empty = false;
     }
     if (empty) return {std::move(t_new), 1, true, work};
-    t_new = delta;
+    t_new.CopyContentsFrom(delta);
 
+    // Scratch instances persist across iterations (Clear + refill), and
+    // next_delta's contents move into `delta`'s stable Relation objects,
+    // so the cache entries for delta indexes stay keyed to live uids —
+    // one rebuild per iteration (the content changed) instead of a fresh
+    // orphaned entry per iteration.
+    IdbInstance<P> candidate(*prog_);
+    IdbInstance<P> next_delta(*prog_);
     for (int t = 1; t < max_steps; ++t) {
       SweepCaches();
       // Candidate C_i = ⊕_ℓ G_i(.., δ_ℓ, ..) using new/old T per Eq. (64).
-      IdbInstance<P> candidate(*prog_);
+      candidate.ClearAll();
       for (const CompiledRule& cr : compiled_) {
         for (const CompiledDisjunct& cd : cr.disjuncts) {
           const int occurrences = static_cast<int>(cd.idb_atoms.size());
@@ -175,14 +199,20 @@ class Engine {
           }
         }
       }
-      // δ(t) = C ⊖ T(t), per tuple of C's support.
-      IdbInstance<P> next_delta(*prog_);
+      // δ(t) = C ⊖ T(t), per row of C's support.
+      next_delta.ClearAll();
       bool all_empty = true;
       for (int pred : prog_->IdbPredicates()) {
-        for (const auto& [tuple, cval] : candidate.idb(pred).tuples()) {
-          typename P::Value d = P::Minus(cval, t_new.idb(pred).Get(tuple));
+        const Relation<P>& c_rel = candidate.idb(pred);
+        const Relation<P>& tn_rel = t_new.idb(pred);
+        Relation<P>& nd_rel = next_delta.idb(pred);
+        const uint32_t rows = c_rel.num_rows();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!c_rel.RowLive(r)) continue;
+          typename P::Value d =
+              P::Minus(c_rel.ValueAt(r), tn_rel.Get(c_rel.View(r)));
           if (!P::Eq(d, P::Zero())) {
-            next_delta.idb(pred).Set(tuple, d);
+            nd_rel.Set(c_rel.View(r), d);
             all_empty = false;
           }
         }
@@ -191,13 +221,18 @@ class Engine {
         return {std::move(t_new), t + 1, true, work};
       }
       // T(t+1) = T(t) ⊕ δ(t).
-      t_old = t_new;
+      t_old.CopyContentsFrom(t_new);
       for (int pred : prog_->IdbPredicates()) {
-        for (const auto& [tuple, dval] : next_delta.idb(pred).tuples()) {
-          t_new.idb(pred).Merge(tuple, dval);
+        const Relation<P>& nd_rel = next_delta.idb(pred);
+        Relation<P>& tn_rel = t_new.idb(pred);
+        const uint32_t rows = nd_rel.num_rows();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!nd_rel.RowLive(r)) continue;
+          tn_rel.Merge(nd_rel.View(r), nd_rel.ValueAt(r));
         }
       }
-      delta = std::move(next_delta);
+      delta.TakeContentsFrom(&next_delta);
+      t_new.CompactAll();  // tombstone hygiene between fixpoint iterations
     }
     return {std::move(t_new), max_steps, false, work};
   }
@@ -263,8 +298,9 @@ class Engine {
     Tuple head;                            ///< head tuple buffer
     std::vector<const RelationIndex<P>*> pops_idx;
     std::vector<const RelationIndex<BoolS>*> bool_idx;
-    std::vector<const typename RelationIndex<P>::EntryList*> pops_entries;
-    std::vector<const typename RelationIndex<BoolS>::EntryList*> bool_entries;
+    std::vector<const Relation<P>*> pops_rel;    ///< row-id decode target
+    std::vector<const Relation<BoolS>*> bool_rel;
+    std::vector<const RowIdList*> entries;  ///< per-level matched row ids
     std::vector<std::size_t> next;         ///< per-level entry cursor
   };
 
@@ -408,8 +444,9 @@ class Engine {
         sc.head = Tuple(rule.head.args.size(), 0);
         sc.pops_idx.resize(cd.generators.size());
         sc.bool_idx.resize(cd.generators.size());
-        sc.pops_entries.resize(cd.generators.size());
-        sc.bool_entries.resize(cd.generators.size());
+        sc.pops_rel.resize(cd.generators.size());
+        sc.bool_rel.resize(cd.generators.size());
+        sc.entries.resize(cd.generators.size());
         sc.next.resize(cd.generators.size());
         scratch_.push_back(std::move(sc));
 
@@ -546,17 +583,27 @@ class Engine {
                                                      gen.key_positions));
           sc.bool_idx[g] = local_bool.back().get();
         }
+        sc.bool_rel[g] = &rel;
       } else {
         const Relation<P>& rel =
             gen.is_idb ? resolver(gen.atom_index) : edb_->pops(gen.pred);
         if (options_.cache_indexes) {
+          const uint64_t before = pops_cache_.builds();
           sc.pops_idx[g] = &pops_cache_.Get(rel, gen.key_positions);
+          if (gen.is_idb) {
+            if (pops_cache_.builds() != before) {
+              ++idb_index_builds_;
+            } else {
+              ++idb_index_hits_;
+            }
+          }
         } else {
           ++uncached_builds_;
           local_pops.push_back(
               std::make_unique<RelationIndex<P>>(rel, gen.key_positions));
           sc.pops_idx[g] = local_pops.back().get();
         }
+        sc.pops_rel[g] = &rel;
       }
     }
 
@@ -575,9 +622,9 @@ class Engine {
         key[i] = s.var >= 0 ? sc.binding[s.var] : s.constant;
       }
       if (gen.is_bool) {
-        sc.bool_entries[lvl] = &sc.bool_idx[lvl]->Lookup(key);
+        sc.entries[lvl] = &sc.bool_idx[lvl]->Lookup(key);
       } else {
-        sc.pops_entries[lvl] = &sc.pops_idx[lvl]->Lookup(key);
+        sc.entries[lvl] = &sc.pops_idx[lvl]->Lookup(key);
       }
       sc.next[lvl] = 0;
     };
@@ -587,37 +634,36 @@ class Engine {
     enter_level(0);
     for (;;) {
       const Generator& gen = cd.generators[g];
-      const Tuple* tuple;
-      const typename P::Value* value = nullptr;
-      if (gen.is_bool) {
-        const auto& entries = *sc.bool_entries[g];
-        if (sc.next[g] == entries.size()) {
-          if (g == 0) break;
-          --g;
-          continue;
-        }
-        tuple = &entries[sc.next[g]]->first;
-      } else {
-        const auto& entries = *sc.pops_entries[g];
-        if (sc.next[g] == entries.size()) {
-          if (g == 0) break;
-          --g;
-          continue;
-        }
-        tuple = &entries[sc.next[g]]->first;
-        value = &entries[sc.next[g]]->second;
+      const RowIdList& entries = *sc.entries[g];
+      if (sc.next[g] == entries.size()) {
+        if (g == 0) break;
+        --g;
+        continue;
       }
+      const uint32_t row = entries[sc.next[g]];
       ++sc.next[g];
       ++*work;
-      bool matched = true;
-      for (const EntryOp& op : gen.entry_ops) {
-        ConstId got = (*tuple)[op.pos];
-        if (op.kind == EntryOp::Kind::kBind) {
-          sc.binding[op.var] = got;
-        } else if (sc.binding[op.var] != got) {
-          matched = false;
-          break;
+      // Bind/check against the matched row's cells, read straight out of
+      // the relation's columns (no tuple is materialized).
+      auto run_entry_ops = [&](const auto& rel) {
+        for (const EntryOp& op : gen.entry_ops) {
+          ConstId got = rel.Cell(row, op.pos);
+          if (op.kind == EntryOp::Kind::kBind) {
+            sc.binding[op.var] = got;
+          } else if (sc.binding[op.var] != got) {
+            return false;
+          }
         }
+        return true;
+      };
+      bool matched;
+      const typename P::Value* value = nullptr;
+      if (gen.is_bool) {
+        matched = run_entry_ops(*sc.bool_rel[g]);
+      } else {
+        const Relation<P>& rel = *sc.pops_rel[g];
+        matched = run_entry_ops(rel);
+        value = &rel.ValueAt(row);
       }
       if (!matched) continue;
       sc.acc[g + 1] = value ? P::Times(sc.acc[g], *value) : sc.acc[g];
@@ -642,6 +688,8 @@ class Engine {
   mutable IndexCache<P> pops_cache_;
   mutable IndexCache<BoolS> bool_cache_;
   mutable uint64_t uncached_builds_ = 0;
+  mutable uint64_t idb_index_builds_ = 0;  ///< cache builds for IDB inputs
+  mutable uint64_t idb_index_hits_ = 0;    ///< cache hits for IDB inputs
 };
 
 }  // namespace datalogo

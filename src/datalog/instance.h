@@ -110,6 +110,36 @@ class IdbInstance {
     return true;
   }
 
+  /// Clears every IDB relation in place. Column and slot capacity — and
+  /// the Relation uids the index cache is keyed by — are retained, so a
+  /// Clear + refill cycle reuses storage instead of churning objects.
+  void ClearAll() {
+    for (int pred : prog_->IdbPredicates()) rels_[pred].Clear();
+  }
+
+  /// Compacts tombstoned rows out of every IDB relation. Per relation a
+  /// no-op (version and cached indexes untouched) when it has none.
+  void CompactAll() {
+    for (int pred : prog_->IdbPredicates()) rels_[pred].Compact();
+  }
+
+  /// Element-wise copy assignment into this instance's existing Relation
+  /// objects: unlike `*this = other`, the objects (and their uids) stay
+  /// alive, so index-cache entries keyed by them remain attached.
+  void CopyContentsFrom(const IdbInstance& other) {
+    DLO_CHECK(rels_.size() == other.rels_.size());
+    for (int pred : prog_->IdbPredicates()) rels_[pred] = other.rels_[pred];
+  }
+
+  /// Element-wise move assignment with the same uid-stability guarantee;
+  /// `other`'s relations are left empty (and usable).
+  void TakeContentsFrom(IdbInstance* other) {
+    DLO_CHECK(rels_.size() == other->rels_.size());
+    for (int pred : prog_->IdbPredicates()) {
+      rels_[pred] = std::move(other->rels_[pred]);
+    }
+  }
+
   /// Total support size across IDB relations.
   std::size_t TotalSupport() const {
     std::size_t n = 0;

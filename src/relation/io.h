@@ -132,20 +132,17 @@ inline bool ParseBoolValue(const std::string& s, bool* out) {
   return false;
 }
 
-/// Dumps a relation as sorted TSV (keys then value).
+/// Dumps a relation as sorted TSV (keys then value), reading cells
+/// straight out of the columnar store in lexicographic row order.
 template <Pops P>
 std::string DumpTsv(const Relation<P>& rel, const Domain& dom) {
-  std::vector<const std::pair<const Tuple, typename P::Value>*> rows;
-  for (const auto& kv : rel.tuples()) rows.push_back(&kv);
-  std::sort(rows.begin(), rows.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
   std::ostringstream os;
-  for (const auto* kv : rows) {
-    for (std::size_t i = 0; i < kv->first.size(); ++i) {
-      if (i) os << "\t";
-      os << dom.ToString(kv->first[i]);
+  for (uint32_t row : rel.SortedLiveRows()) {
+    for (int p = 0; p < rel.arity(); ++p) {
+      if (p) os << "\t";
+      os << dom.ToString(rel.Cell(row, p));
     }
-    os << "\t" << P::ToString(kv->second) << "\n";
+    os << "\t" << P::ToString(rel.ValueAt(row)) << "\n";
   }
   return os.str();
 }

@@ -1,13 +1,22 @@
-// K-relations (Sec. 2.3): finite-support maps GA(R, D) → P. Only tuples
-// with value ≠ ⊥ are stored — exactly the paper's notion of support, and
-// the reason semi-naive evaluation pays off (Sec. 1.1 discussion of ⊖).
+// K-relations (Sec. 2.3): finite-support maps GA(R, D) → P, stored
+// column-major. Only tuples with value ≠ ⊥ are in the support — exactly
+// the paper's notion, and the reason semi-naive evaluation pays off
+// (Sec. 1.1 discussion of ⊖).
+//
+// Storage layout (struct-of-arrays): one contiguous ConstId column per
+// argument position plus a parallel value column, addressed by row id.
+// Point lookups (Get/Set/Merge) go through an open-addressing row-id hash
+// table probed with a lightweight key view — no Tuple is materialized on
+// the probe path. Erasing a tuple tombstones its row (the row id and its
+// hash slot stay put, so a later Set of the same key revives the row in
+// place); Compact() squeezes tombstones out between fixpoint iterations.
+// Index construction and key projection become sequential column scans.
 #ifndef DATALOGO_RELATION_RELATION_H_
 #define DATALOGO_RELATION_RELATION_H_
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "src/core/check.h"
+#include "src/core/hash.h"
 #include "src/relation/domain.h"
 #include "src/relation/tuple.h"
 #include "src/semiring/traits.h"
@@ -29,29 +39,71 @@ inline uint64_t NextRelationUid() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+/// Sentinel row id: "no such row" (also the empty-slot marker of the
+/// row-id hash table).
+inline constexpr uint32_t kNoRow = 0xFFFFFFFFu;
+
+/// A list of row ids into one relation's columnar storage — the currency
+/// of RelationIndex lookups and the engine's join programs.
+using RowIdList = std::vector<uint32_t>;
+
+/// Non-owning view of one row's key columns in a columnar store. Usable
+/// as a probe/upsert key against any Relation (of any value space)
+/// without materializing a Tuple: it reads straight out of the source
+/// relation's columns.
+class RowView {
+ public:
+  RowView(const std::vector<std::vector<ConstId>>* cols, uint32_t row)
+      : cols_(cols), row_(row) {}
+
+  std::size_t size() const { return cols_->size(); }
+  ConstId operator[](std::size_t pos) const { return (*cols_)[pos][row_]; }
+
+ private:
+  const std::vector<std::vector<ConstId>>* cols_;
+  uint32_t row_;
+};
+
 /// A P-relation of fixed arity; absent tuples implicitly map to ⊥.
 template <Pops P>
 class Relation {
  public:
   using Value = typename P::Value;
-  using Map = std::unordered_map<Tuple, Value, TupleHash>;
 
-  explicit Relation(int arity = 0) : arity_(arity) {}
+  explicit Relation(int arity = 0) : arity_(arity), cols_(arity) {}
 
   // Every object carries a unique id plus a mutation counter so index
   // caches can tell "same content as when I indexed it" apart from "same
   // address by coincidence". Copies and moves are new objects: they get a
   // fresh uid instead of inheriting cached-index validity.
-  Relation(const Relation& other) : arity_(other.arity_), data_(other.data_) {}
+  Relation(const Relation& other)
+      : arity_(other.arity_),
+        cols_(other.cols_),
+        values_(other.values_),
+        live_flags_(other.live_flags_),
+        live_(other.live_),
+        slots_(other.slots_),
+        mask_(other.mask_) {}
   Relation(Relation&& other) noexcept
-      : arity_(other.arity_), data_(std::move(other.data_)) {
-    other.data_.clear();
+      : arity_(other.arity_),
+        cols_(std::move(other.cols_)),
+        values_(std::move(other.values_)),
+        live_flags_(std::move(other.live_flags_)),
+        live_(other.live_),
+        slots_(std::move(other.slots_)),
+        mask_(other.mask_) {
+    other.ResetToEmpty();
     ++other.version_;
   }
   Relation& operator=(const Relation& other) {
     if (this != &other) {
       arity_ = other.arity_;
-      data_ = other.data_;
+      cols_ = other.cols_;
+      values_ = other.values_;
+      live_flags_ = other.live_flags_;
+      live_ = other.live_;
+      slots_ = other.slots_;
+      mask_ = other.mask_;
       ++version_;
     }
     return *this;
@@ -59,8 +111,13 @@ class Relation {
   Relation& operator=(Relation&& other) noexcept {
     if (this != &other) {
       arity_ = other.arity_;
-      data_ = std::move(other.data_);
-      other.data_.clear();
+      cols_ = std::move(other.cols_);
+      values_ = std::move(other.values_);
+      live_flags_ = std::move(other.live_flags_);
+      live_ = other.live_;
+      slots_ = std::move(other.slots_);
+      mask_ = other.mask_;
+      other.ResetToEmpty();
       ++other.version_;
       ++version_;
     }
@@ -68,36 +125,102 @@ class Relation {
   }
 
   int arity() const { return arity_; }
-  std::size_t support_size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t support_size() const { return live_; }
+  bool empty() const { return live_ == 0; }
 
-  /// The value of a ground atom (⊥ when outside the support).
-  Value Get(const Tuple& t) const {
-    auto it = data_.find(t);
-    return it == data_.end() ? P::Bottom() : it->second;
-  }
+  // ------------------------------------------------------ row accessors
+  /// Total rows in the store, tombstoned ones included. Valid row ids are
+  /// [0, num_rows()); only rows with RowLive() belong to the support.
+  uint32_t num_rows() const { return static_cast<uint32_t>(values_.size()); }
+  bool RowLive(uint32_t row) const { return live_flags_[row] != 0; }
+  ConstId Cell(uint32_t row, int pos) const { return cols_[pos][row]; }
+  const Value& ValueAt(uint32_t row) const { return values_[row].v; }
+  /// A key view of `row` — valid until this relation's columns mutate.
+  RowView View(uint32_t row) const { return RowView(&cols_, row); }
+  /// One whole key column — the sequential-scan surface for index builds.
+  const std::vector<ConstId>& column(int pos) const { return cols_[pos]; }
+  std::size_t tombstones() const { return values_.size() - live_; }
 
-  bool Contains(const Tuple& t) const { return data_.count(t) > 0; }
-
-  /// Sets the value, maintaining the support invariant (⊥ values erase).
-  void Set(const Tuple& t, Value v) {
-    DLO_CHECK(static_cast<int>(t.size()) == arity_);
-    if (P::Eq(v, P::Bottom())) {
-      // Erasing an absent tuple leaves the content unchanged; bumping the
-      // version would invalidate cached indexes for nothing.
-      if (data_.erase(t) > 0) ++version_;
-    } else {
-      data_[t] = std::move(v);
-      ++version_;
+  /// Calls fn(row_id) for every live (support) row, in row order.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    const uint32_t n = num_rows();
+    for (uint32_t r = 0; r < n; ++r) {
+      if (live_flags_[r]) fn(r);
     }
   }
 
-  /// r(t) ← r(t) ⊕ v.
-  void Merge(const Tuple& t, const Value& v) { Set(t, P::Plus(Get(t), v)); }
+  /// Live row ids in lexicographic tuple order (deterministic renderings).
+  std::vector<uint32_t> SortedLiveRows() const {
+    std::vector<uint32_t> rows;
+    rows.reserve(live_);
+    ForEachRow([&](uint32_t r) { rows.push_back(r); });
+    std::sort(rows.begin(), rows.end(), [this](uint32_t a, uint32_t b) {
+      for (int p = 0; p < arity_; ++p) {
+        if (cols_[p][a] != cols_[p][b]) return cols_[p][a] < cols_[p][b];
+      }
+      return false;
+    });
+    return rows;
+  }
 
+  // ----------------------------------------------------- point operations
+  /// The value of a ground atom (⊥ when outside the support).
+  Value Get(const Tuple& t) const { return GetKey(t); }
+  /// Same, keyed by another relation's row — no Tuple materialized.
+  Value Get(const RowView& key) const { return GetKey(key); }
+
+  bool Contains(const Tuple& t) const {
+    if (static_cast<int>(t.size()) != arity_) return false;
+    uint32_t r = FindRow(t);
+    return r != kNoRow && live_flags_[r] != 0;
+  }
+
+  /// Sets the value, maintaining the support invariant (⊥ tombstones).
+  void Set(const Tuple& t, Value v) { SetKey(t, std::move(v)); }
+  void Set(const RowView& key, Value v) { SetKey(key, std::move(v)); }
+
+  /// r(t) ← r(t) ⊕ v — a single-probe upsert (one hash walk, not the
+  /// Get-then-Set double lookup of the row-major store).
+  void Merge(const Tuple& t, const Value& v) { MergeKey(t, v); }
+  void Merge(const RowView& key, const Value& v) { MergeKey(key, v); }
+
+  /// Empties the relation but keeps column/slot capacity, so a Clear +
+  /// refill cycle (persistent delta relations) does not reallocate.
   void Clear() {
     ++version_;
-    data_.clear();
+    for (auto& col : cols_) col.clear();
+    values_.clear();
+    live_flags_.clear();
+    live_ = 0;
+    std::fill(slots_.begin(), slots_.end(), kNoRow);
+  }
+
+  /// Squeezes tombstoned rows out of the columns and rebuilds the row-id
+  /// table. Row ids change, so the version is bumped (cached indexes over
+  /// the old ids must rebuild); with no tombstones this is a no-op that
+  /// leaves the version — and therefore cached indexes — untouched.
+  void Compact() {
+    if (live_ == values_.size()) return;
+    for (int p = 0; p < arity_; ++p) {
+      std::vector<ConstId>& col = cols_[p];
+      uint32_t w = 0;
+      for (uint32_t r = 0; r < num_rows(); ++r) {
+        if (live_flags_[r]) col[w++] = col[r];
+      }
+      col.resize(w);
+    }
+    uint32_t w = 0;
+    for (uint32_t r = 0; r < num_rows(); ++r) {
+      if (!live_flags_[r]) continue;
+      if (w != r) values_[w].v = std::move(values_[r].v);
+      ++w;
+    }
+    values_.resize(w);
+    live_flags_.assign(w, 1);
+    live_ = w;
+    ++version_;
+    Rehash(SlotCountFor(w));
   }
 
   /// Identity of this object (stable for its lifetime, never reused).
@@ -105,84 +228,271 @@ class Relation {
   /// Bumped on every mutation; (uid, version) identifies one content state.
   uint64_t version() const { return version_; }
 
-  const Map& tuples() const { return data_; }
-
   bool Equals(const Relation& other) const {
-    if (arity_ != other.arity_ || data_.size() != other.data_.size()) {
-      return false;
-    }
-    for (const auto& [t, v] : data_) {
-      auto it = other.data_.find(t);
-      if (it == other.data_.end() || !P::Eq(v, it->second)) return false;
+    if (arity_ != other.arity_ || live_ != other.live_) return false;
+    const uint32_t n = num_rows();
+    for (uint32_t r = 0; r < n; ++r) {
+      if (!live_flags_[r]) continue;
+      uint32_t o = other.FindRow(View(r));
+      if (o == kNoRow || !other.live_flags_[o] ||
+          !P::Eq(values_[r].v, other.values_[o].v)) {
+        return false;
+      }
     }
     return true;
   }
 
-  /// Registers every constant in the support with `out`.
+  /// Registers every constant in the support with `out` — one sequential
+  /// scan per column.
   void CollectConstants(std::vector<ConstId>& out) const {
-    for (const auto& [t, v] : data_) {
-      out.insert(out.end(), t.begin(), t.end());
+    const uint32_t n = num_rows();
+    for (int p = 0; p < arity_; ++p) {
+      const std::vector<ConstId>& col = cols_[p];
+      for (uint32_t r = 0; r < n; ++r) {
+        if (live_flags_[r]) out.push_back(col[r]);
+      }
     }
   }
 
   /// Deterministic rendering (sorted by tuple) for goldens and debugging.
   std::string ToString(const Domain& dom) const {
-    std::vector<const typename Map::value_type*> rows;
-    rows.reserve(data_.size());
-    for (const auto& kv : data_) rows.push_back(&kv);
-    std::sort(rows.begin(), rows.end(),
-              [](const auto* a, const auto* b) { return a->first < b->first; });
     std::ostringstream os;
-    for (const auto* kv : rows) {
+    for (uint32_t r : SortedLiveRows()) {
       os << "(";
-      for (std::size_t i = 0; i < kv->first.size(); ++i) {
-        if (i) os << ",";
-        os << dom.ToString(kv->first[i]);
+      for (int p = 0; p < arity_; ++p) {
+        if (p) os << ",";
+        os << dom.ToString(cols_[p][r]);
       }
-      os << ") -> " << P::ToString(kv->second) << "\n";
+      os << ") -> " << P::ToString(values_[r].v) << "\n";
     }
     return os.str();
   }
 
  private:
+  /// Hash of a key (Tuple or RowView) — the same value sequence hashes
+  /// identically regardless of which form it arrives in. The splitmix64
+  /// finalizer matters: the table is masked to a power of two and probed
+  /// linearly, so weak low-bit dispersion (dense interned ids are highly
+  /// structured) would cluster catastrophically.
+  template <typename Key>
+  static std::size_t KeyHash(const Key& key) {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    const std::size_t n = key.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      HashCombine(h, static_cast<std::size_t>(key[i]));
+    }
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+  }
+
+  template <typename Key>
+  bool RowMatchesKey(uint32_t row, const Key& key) const {
+    for (int p = 0; p < arity_; ++p) {
+      if (cols_[p][row] != key[static_cast<std::size_t>(p)]) return false;
+    }
+    return true;
+  }
+
+  /// Linear probe: the slot holding the key's row, or the empty slot
+  /// where it would be inserted. Requires a non-empty table.
+  template <typename Key>
+  std::size_t Probe(const Key& key) const {
+    std::size_t s = KeyHash(key) & mask_;
+    for (;;) {
+      uint32_t r = slots_[s];
+      if (r == kNoRow || RowMatchesKey(r, key)) return s;
+      s = (s + 1) & mask_;
+    }
+  }
+
+  /// Row id (live or tombstoned) of `key`, or kNoRow. At most one row per
+  /// distinct key ever exists — erasure tombstones the row in place.
+  template <typename Key>
+  uint32_t FindRow(const Key& key) const {
+    if (slots_.empty()) return kNoRow;
+    return slots_[Probe(key)];
+  }
+
+  static std::size_t SlotCountFor(std::size_t rows) {
+    std::size_t n = 16;
+    while (rows * 4 >= n * 3) n <<= 1;  // keep load factor under 3/4
+    return n;
+  }
+
+  void Rehash(std::size_t n_slots) {
+    slots_.assign(n_slots, kNoRow);
+    mask_ = n_slots - 1;
+    for (uint32_t r = 0; r < num_rows(); ++r) {
+      std::size_t s = KeyHash(View(r)) & mask_;
+      while (slots_[s] != kNoRow) s = (s + 1) & mask_;
+      slots_[s] = r;
+    }
+  }
+
+  /// Grows the slot table ahead of a potential one-row append, so a slot
+  /// index obtained from Probe() stays valid through the insertion.
+  void ReserveOneRow() {
+    if (slots_.empty()) {
+      Rehash(SlotCountFor(values_.size() + 1));
+    } else if ((values_.size() + 1) * 4 >= slots_.size() * 3) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  /// Appends a fresh live row for `key` into the empty slot `slot`.
+  /// Reading key[p] before growing column p keeps self-referential views
+  /// (key aliasing this relation's own columns) safe.
+  template <typename Key>
+  void AppendRow(std::size_t slot, const Key& key, Value v) {
+    const uint32_t row = num_rows();
+    for (int p = 0; p < arity_; ++p) {
+      ConstId c = key[static_cast<std::size_t>(p)];
+      cols_[p].push_back(c);
+    }
+    values_.push_back(ValueCell{std::move(v)});
+    live_flags_.push_back(1);
+    slots_[slot] = row;
+  }
+
+  template <typename Key>
+  Value GetKey(const Key& key) const {
+    if (static_cast<int>(key.size()) != arity_) return P::Bottom();
+    uint32_t r = FindRow(key);
+    return (r == kNoRow || !live_flags_[r]) ? P::Bottom() : values_[r].v;
+  }
+
+  template <typename Key>
+  void SetKey(const Key& key, Value v) {
+    DLO_CHECK(static_cast<int>(key.size()) == arity_);
+    if (P::Eq(v, P::Bottom())) {
+      // Erasing an absent tuple leaves the content unchanged; bumping the
+      // version would invalidate cached indexes for nothing.
+      uint32_t r = FindRow(key);
+      if (r != kNoRow && live_flags_[r]) {
+        live_flags_[r] = 0;
+        --live_;
+        ++version_;
+      }
+      return;
+    }
+    ReserveOneRow();
+    std::size_t slot = Probe(key);
+    uint32_t r = slots_[slot];
+    if (r == kNoRow) {
+      AppendRow(slot, key, std::move(v));
+      ++live_;
+    } else {
+      values_[r].v = std::move(v);
+      if (!live_flags_[r]) {  // revive the tombstoned row in place
+        live_flags_[r] = 1;
+        ++live_;
+      }
+    }
+    ++version_;
+  }
+
+  template <typename Key>
+  void MergeKey(const Key& key, const Value& v) {
+    DLO_CHECK(static_cast<int>(key.size()) == arity_);
+    ReserveOneRow();
+    std::size_t slot = Probe(key);
+    uint32_t r = slots_[slot];
+    if (r != kNoRow && live_flags_[r]) {
+      Value nv = P::Plus(values_[r].v, v);
+      if (P::Eq(nv, P::Bottom())) {
+        live_flags_[r] = 0;
+        --live_;
+      } else {
+        values_[r].v = std::move(nv);
+      }
+      ++version_;
+      return;
+    }
+    Value nv = P::Plus(P::Bottom(), v);
+    if (P::Eq(nv, P::Bottom())) return;  // ⊥ ⊕ v = ⊥: nothing to store
+    if (r != kNoRow) {
+      values_[r].v = std::move(nv);
+      live_flags_[r] = 1;
+    } else {
+      AppendRow(slot, key, std::move(nv));
+    }
+    ++live_;
+    ++version_;
+  }
+
+  /// Leaves a moved-from object empty but structurally valid (arity and
+  /// uid retained, columns re-sized to arity).
+  void ResetToEmpty() {
+    cols_.assign(static_cast<std::size_t>(arity_), {});
+    values_.clear();
+    live_flags_.clear();
+    live_ = 0;
+    slots_.clear();
+    mask_ = 0;
+  }
+
+  /// One value-column element. The wrapper defeats the std::vector<bool>
+  /// bit-packing specialization: ValueAt must hand out stable
+  /// `const Value&` references into the column (the join kernel keeps
+  /// them across bind/check ops), which a packed proxy cannot provide.
+  struct ValueCell {
+    Value v;
+  };
+
   int arity_;
-  Map data_;
+  std::vector<std::vector<ConstId>> cols_;  ///< one column per position
+  std::vector<ValueCell> values_;           ///< parallel value column
+  std::vector<uint8_t> live_flags_;         ///< 0 = tombstoned row
+  std::size_t live_ = 0;                    ///< support size
+  RowIdList slots_;     ///< open-addressing row-id table (kNoRow = empty)
+  std::size_t mask_ = 0;
   uint64_t uid_ = NextRelationUid();
   uint64_t version_ = 0;
 };
 
 /// An index over a relation keyed by a subset of argument positions;
 /// built on demand by the engine (index nested-loop joins) and reused
-/// across joining steps through IndexCache below.
+/// across joining steps through IndexCache below. Entries are row ids
+/// into the relation's columnar store, gathered by one sequential scan
+/// over the key columns (tombstoned rows are skipped).
 template <Pops P>
 class RelationIndex {
  public:
-  /// One indexed support entry: a pointer into the relation's storage.
-  using Entry = const std::pair<const Tuple, typename P::Value>*;
-  using EntryList = std::vector<Entry>;
+  using EntryList = RowIdList;
 
   /// Builds an index of `rel` on the given positions.
   RelationIndex(const Relation<P>& rel, std::vector<int> positions)
-      : positions_(std::move(positions)) {
+      : rel_(&rel), positions_(std::move(positions)) {
     Tuple key(positions_.size(), 0);
-    for (const auto& kv : rel.tuples()) {
+    const uint32_t n = rel.num_rows();
+    for (uint32_t r = 0; r < n; ++r) {
+      if (!rel.RowLive(r)) continue;
       for (std::size_t i = 0; i < positions_.size(); ++i) {
-        key[i] = kv.first[positions_[i]];
+        key[i] = rel.Cell(r, positions_[i]);
       }
-      index_[key].push_back(&kv);
+      index_[key].push_back(r);
     }
   }
 
-  /// All support entries whose projection matches `key`.
+  /// All row ids whose projection matches `key`, in row order.
   const EntryList& Lookup(const Tuple& key) const {
     static const EntryList kEmpty;
     auto it = index_.find(key);
     return it == index_.end() ? kEmpty : it->second;
   }
 
+  /// The relation the row ids point into. Only valid while the index is —
+  /// i.e. while the relation's version is unchanged (IndexCache's guard).
+  const Relation<P>& relation() const { return *rel_; }
+
   const std::vector<int>& positions() const { return positions_; }
 
  private:
+  const Relation<P>* rel_;
   std::vector<int> positions_;
   std::unordered_map<Tuple, EntryList, TupleHash> index_;
 };
@@ -191,10 +501,11 @@ class RelationIndex {
 /// A cached index is reused only while the relation's version is unchanged
 /// — i.e. the relation has not been mutated since the index was built — so
 /// EDB indexes survive an entire fixpoint run and IDB indexes survive all
-/// rule evaluations within one ICO application. An index holds pointers
-/// into the relation's storage; the version guard ensures such pointers
-/// are only ever followed while they are valid, and entries for mutated or
-/// destroyed relations become unreachable (uids are never reused).
+/// rule evaluations within one ICO application. An index holds row ids
+/// into the relation's columnar storage; the version guard ensures they
+/// are only ever decoded while they are valid (mutation, Compact and Clear
+/// all bump the version), and entries for mutated or destroyed relations
+/// become unreachable (uids are never reused).
 template <Pops P>
 class IndexCache {
  public:
@@ -236,10 +547,10 @@ class IndexCache {
 
   /// Eviction — call only when no Get() references are live (e.g. between
   /// fixpoint iterations, which also advances the "recently used" epoch).
-  /// Callers that index short-lived relations (fresh IdbInstances every
-  /// iteration) orphan their entries — each a fully built index the size
-  /// of its relation — so everything idle for a full epoch is dropped;
-  /// hot (EDB) indexes are looked up every epoch and survive.
+  /// Callers that index short-lived relations orphan their entries — each
+  /// a fully built index the size of its relation — so everything idle for
+  /// a full epoch is dropped; hot (EDB and persistent-delta) indexes are
+  /// looked up every epoch and survive.
   void MaybeEvict() {
     ++sweep_;
     for (auto it = cache_.begin(); it != cache_.end();) {

@@ -16,10 +16,22 @@ namespace {
 class InnerLfpProgram {
  public:
   explicit InnerLfpProgram(const NegProgram& prog) : prog_(&prog) {
-    watchers_.resize(prog.num_atoms);
+    // Watch lists in CSR (column-oriented) form: the rules watching atom a
+    // are watch_rules_[watch_begin_[a] .. watch_begin_[a+1]) — one flat
+    // array instead of num_atoms separate heap vectors, so the hot
+    // propagation loop walks contiguous memory.
+    watch_begin_.assign(prog.num_atoms + 1, 0);
+    for (const GroundRuleNeg& rule : prog.rules) {
+      for (int a : rule.pos_body) ++watch_begin_[a + 1];
+    }
+    for (int a = 0; a < prog.num_atoms; ++a) {
+      watch_begin_[a + 1] += watch_begin_[a];
+    }
+    watch_rules_.resize(watch_begin_[prog.num_atoms]);
+    std::vector<int> cursor(watch_begin_.begin(), watch_begin_.end() - 1);
     for (std::size_t r = 0; r < prog.rules.size(); ++r) {
       for (int a : prog.rules[r].pos_body) {
-        watchers_[a].push_back(static_cast<int>(r));
+        watch_rules_[cursor[a]++] = static_cast<int>(r);
       }
     }
     missing_.resize(prog.rules.size());
@@ -56,7 +68,8 @@ class InnerLfpProgram {
     while (!worklist_.empty()) {
       int atom = worklist_.back();
       worklist_.pop_back();
-      for (int r : watchers_[atom]) {
+      for (int i = watch_begin_[atom]; i < watch_begin_[atom + 1]; ++i) {
+        const int r = watch_rules_[i];
         // An atom repeated in one positive body decrements once per
         // occurrence, matching the initial occurrence count.
         if (missing_[r] > 0 && --missing_[r] == 0) {
@@ -69,7 +82,8 @@ class InnerLfpProgram {
 
  private:
   const NegProgram* prog_;
-  std::vector<std::vector<int>> watchers_;  ///< atom → rules watching it
+  std::vector<int> watch_begin_;  ///< CSR offsets: atom → watch_rules_ span
+  std::vector<int> watch_rules_;  ///< CSR payload: watching rule ids
   std::vector<int> missing_;   ///< per-rule outstanding positive atoms
   std::vector<int> worklist_;  ///< newly derived atoms to propagate
 };
