@@ -30,6 +30,27 @@ inline bool BenchSmokeMode() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// Thread counts the engine benches sweep (one BENCH_*.json row per
+/// count). DATALOGO_THREADS overrides as a comma-separated list (e.g.
+/// "1,4"); the default sweep is 1/2/4/8, trimmed to 1/4 in smoke mode.
+inline std::vector<int> BenchThreadCounts() {
+  std::vector<int> out;
+  if (const char* v = std::getenv("DATALOGO_THREADS");
+      v != nullptr && v[0] != '\0') {
+    std::stringstream ss(v);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      int t = std::atoi(tok.c_str());
+      if (t >= 1) out.push_back(t);
+    }
+  }
+  if (out.empty()) {
+    out = BenchSmokeMode() ? std::vector<int>{1, 4}
+                           : std::vector<int>{1, 2, 4, 8};
+  }
+  return out;
+}
+
 /// Wall-clock milliseconds of one `fn()` run.
 template <typename F>
 double WallMs(F&& fn) {
@@ -129,8 +150,10 @@ class BenchJson {
   bool first_field_ = true;
 };
 
-/// Shared emitter for the BENCH_<name>.json perf journals: for each n
-/// and each engine, times `reps` evaluations — a fresh Engine per rep,
+/// Shared emitter for the BENCH_<name>.json perf journals: for each n,
+/// each engine, and each thread count in BenchThreadCounts() (the
+/// DATALOGO_THREADS knob), times `reps` evaluations — a fresh Engine per
+/// rep,
 /// so every journaled counter describes exactly the one run whose wall
 /// time is reported (the best rep) rather than mixing best-of wall with
 /// lifetime-accumulated index counters. Works over any naturally ordered
@@ -144,6 +167,7 @@ void WriteEngineJson(const std::string& bench_name,
                      std::initializer_list<int> sizes) {
   const bool smoke = BenchSmokeMode();
   const int reps = smoke ? 1 : 3;
+  const std::vector<int> thread_counts = BenchThreadCounts();
   BenchJson json(bench_name);
   json.MetaBool("smoke", smoke);
   json.Meta("workload", workload_desc);
@@ -156,39 +180,43 @@ void WriteEngineJson(const std::string& bench_name,
     LoadEdges<P>(g, ids, lift, &edb.pops(prog.FindPredicate("E")));
     for (bool semi : {false, true}) {
       if (semi && !CompleteDistributiveDioid<P>) continue;
-      double best_ms = -1.0;
-      EvalResult<P> best{IdbInstance<P>(prog)};
-      uint64_t builds = 0, hits = 0, idb_builds = 0, idb_hits = 0;
-      for (int rep = 0; rep < reps; ++rep) {
-        Engine<P> engine(prog, edb);
-        EvalResult<P> r{IdbInstance<P>(prog)};
-        double ms = WallMs([&] {
-          if constexpr (CompleteDistributiveDioid<P>) {
-            r = semi ? engine.SemiNaive(1 << 20) : engine.Naive(1 << 20);
-          } else {
-            r = engine.Naive(1 << 20);
+      for (int threads : thread_counts) {
+        double best_ms = -1.0;
+        EvalResult<P> best{IdbInstance<P>(prog)};
+        uint64_t builds = 0, hits = 0, idb_builds = 0, idb_hits = 0;
+        for (int rep = 0; rep < reps; ++rep) {
+          Engine<P> engine(prog, edb,
+                           EngineOptions{.num_threads = threads});
+          EvalResult<P> r{IdbInstance<P>(prog)};
+          double ms = WallMs([&] {
+            if constexpr (CompleteDistributiveDioid<P>) {
+              r = semi ? engine.SemiNaive(1 << 20) : engine.Naive(1 << 20);
+            } else {
+              r = engine.Naive(1 << 20);
+            }
+          });
+          if (best_ms < 0 || ms < best_ms) {
+            best_ms = ms;
+            best = std::move(r);
+            builds = engine.index_builds();
+            hits = engine.index_hits();
+            idb_builds = engine.idb_index_builds();
+            idb_hits = engine.idb_index_hits();
           }
-        });
-        if (best_ms < 0 || ms < best_ms) {
-          best_ms = ms;
-          best = std::move(r);
-          builds = engine.index_builds();
-          hits = engine.index_hits();
-          idb_builds = engine.idb_index_builds();
-          idb_hits = engine.idb_index_hits();
         }
+        json.BeginRow()
+            .Str("engine", semi ? "seminaive" : "naive")
+            .Int("n", static_cast<uint64_t>(n))
+            .Int("threads", static_cast<uint64_t>(threads))
+            .Num("wall_ms", best_ms)
+            .Int("iterations", static_cast<uint64_t>(best.steps))
+            .Int("work", best.work)
+            .Int("index_builds", builds)
+            .Int("index_hits", hits)
+            .Int("idb_index_builds", idb_builds)
+            .Int("idb_index_hits", idb_hits)
+            .EndRow();
       }
-      json.BeginRow()
-          .Str("engine", semi ? "seminaive" : "naive")
-          .Int("n", static_cast<uint64_t>(n))
-          .Num("wall_ms", best_ms)
-          .Int("iterations", static_cast<uint64_t>(best.steps))
-          .Int("work", best.work)
-          .Int("index_builds", builds)
-          .Int("index_hits", hits)
-          .Int("idb_index_builds", idb_builds)
-          .Int("idb_index_hits", idb_hits)
-          .EndRow();
     }
   }
   json.Write("BENCH_" + bench_name + ".json");

@@ -1,0 +1,43 @@
+# Determinism smoke for the parallel engine at the CLI surface: run the
+# same program serially and with --threads=4 and require byte-identical
+# output (the TSV dump is sorted and the '# converged' stability index is
+# part of the determinism contract).
+#
+# Invoked by CTest as:
+#   cmake -DCLI=<datalogo_cli> -DPROGRAM=<.dl> -DEDGES=<.tsv>
+#         -DOUT_DIR=<dir> -P cli_threads_smoke.cmake
+foreach(var CLI PROGRAM EDGES OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_threads_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(serial_out "${OUT_DIR}/cli_smoke_serial.out")
+set(threads_out "${OUT_DIR}/cli_smoke_threads4.out")
+
+execute_process(
+  COMMAND ${CLI} ${PROGRAM} --semiring=trop --edb E=${EDGES} --seminaive
+  OUTPUT_FILE ${serial_out}
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial run failed (exit ${serial_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${PROGRAM} --semiring=trop --edb E=${EDGES} --seminaive
+          --threads=4
+  OUTPUT_FILE ${threads_out}
+  RESULT_VARIABLE threads_rc)
+if(NOT threads_rc EQUAL 0)
+  message(FATAL_ERROR "--threads=4 run failed (exit ${threads_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${serial_out} ${threads_out}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "serial and --threads=4 output differ: ${serial_out} vs "
+          "${threads_out}")
+endif()
+message(STATUS "serial and --threads=4 CLI output identical")

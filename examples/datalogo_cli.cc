@@ -2,6 +2,7 @@
 //
 //   datalogo_cli PROGRAM.dl --semiring=trop
 //       --edb E=edges.tsv --bedb G=flags.tsv [--seminaive] [--advise]
+//       [--threads=N]
 //
 // Semirings: bool, nat, trop, tropnat, fuzzy, viterbi.
 // POPS EDB TSVs carry the value in the last column; Boolean EDB TSVs are
@@ -27,6 +28,7 @@ struct CliOptions {
   bool seminaive = false;
   bool advise = false;
   int max_steps = 100000;
+  int threads = 1;  // 0 = one per hardware core; results are identical
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -64,6 +66,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->advise = true;
     } else if (arg.rfind("--max-steps=", 0) == 0) {
       opt->max_steps = std::stoi(value_of("--max-steps="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt->threads = std::stoi(value_of("--threads="));
     } else if (arg.rfind("--", 0) != 0) {
       opt->program_path = arg;
     } else {
@@ -134,7 +138,8 @@ int RunAs(const CliOptions& opt, const std::string& text,
                 report.linear, report.recursive, report.num_vars);
   }
 
-  Engine<P> engine(prog.value(), edb);
+  Engine<P> engine(prog.value(), edb,
+                   EngineOptions{.num_threads = opt.threads});
   EvalResult<P> result = [&] {
     if constexpr (CompleteDistributiveDioid<P>) {
       if (opt.seminaive) return engine.SemiNaive(opt.max_steps);
@@ -165,7 +170,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: datalogo_cli PROGRAM.dl [--semiring=NAME] "
                  "[--edb P=FILE]... [--bedb P=FILE]... [--seminaive] "
-                 "[--advise] [--max-steps=N]\n"
+                 "[--advise] [--max-steps=N] [--threads=N]\n"
                  "semirings: bool nat trop tropnat fuzzy viterbi\n");
     return 1;
   }

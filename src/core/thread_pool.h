@@ -1,0 +1,176 @@
+// A minimal fork-join thread pool for the engine's parallel ICO step.
+//
+// The pool exposes exactly one primitive — ParallelFor(n, fn) — which runs
+// fn(0) .. fn(n-1) across the submitting thread plus the pool's workers
+// and blocks until every task has finished. There is no work stealing and
+// no task graph: the engine needs a barriered indexed loop (the
+// deterministic merge that follows evaluation depends on the barrier), so
+// tasks are handed out from a single atomic cursor and the batch completes
+// when the last task does.
+//
+// Determinism contract: every task is attempted exactly once regardless of
+// which thread runs it or whether other tasks threw; if any task threw,
+// the exception from the LOWEST-index failing task is rethrown to the
+// submitter after the whole batch has completed, so the propagated error
+// does not depend on scheduling.
+#ifndef DATALOGO_CORE_THREAD_POOL_H_
+#define DATALOGO_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace datalogo {
+
+/// Fixed-size fork-join pool. `num_threads` is the total concurrency of a
+/// ParallelFor call: the pool spawns num_threads - 1 workers and the
+/// submitting thread executes tasks too. num_threads <= 1 is the
+/// degenerate mode — no workers are spawned and ParallelFor runs inline
+/// on the caller (same semantics, zero synchronization).
+///
+/// One batch at a time: ParallelFor must not be called concurrently from
+/// two threads, and must not be called from inside a task.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    int workers = num_threads - 1;
+    if (workers < 0) workers = 0;
+    if (workers > kMaxWorkers) workers = kMaxWorkers;
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Worker threads owned by the pool (the submitter is not counted).
+  int workers() const { return static_cast<int>(threads_.size()); }
+  /// Threads a ParallelFor call executes on: workers plus the submitter.
+  int concurrency() const { return workers() + 1; }
+
+  /// Runs fn(0) .. fn(n-1), returning once all have completed. Tasks are
+  /// claimed dynamically, so callers must not assume any execution order —
+  /// only that each index runs exactly once and that everything observable
+  /// from the tasks is visible to the submitter when the call returns.
+  void ParallelFor(std::size_t n, std::function<void(std::size_t)> fn) {
+    if (n == 0) return;
+    if (threads_.empty()) {
+      // Inline degenerate mode: same all-tasks-attempted / lowest-index
+      // exception semantics, no synchronization.
+      std::exception_ptr eptr;
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!eptr) eptr = std::current_exception();
+        }
+      }
+      if (eptr) std::rethrow_exception(eptr);
+      return;
+    }
+    auto batch = std::make_shared<Batch>();
+    batch->fn = std::move(fn);
+    batch->n = n;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      current_ = batch;
+    }
+    cv_.notify_all();
+    RunTasks(*batch);  // the submitter participates
+    {
+      std::unique_lock<std::mutex> lk(batch->mu);
+      batch->done_cv.wait(lk, [&] { return batch->done == batch->n; });
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (current_ == batch) current_.reset();
+    }
+    if (batch->eptr) std::rethrow_exception(batch->eptr);
+  }
+
+ private:
+  /// Spawning thousands of OS threads is never what a caller wants. The
+  /// engine passes num_threads through unclamped (the equivalence tests
+  /// deliberately oversubscribe single-core hosts), so the pool itself
+  /// caps runaway values.
+  static constexpr int kMaxWorkers = 255;
+
+  /// Shared state of one ParallelFor call. Heap-allocated and reference-
+  /// counted so a worker that wakes late (or finishes last) can never
+  /// touch a batch the submitter has abandoned.
+  struct Batch {
+    std::function<void(std::size_t)> fn;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t done = 0;            ///< guarded by mu
+    std::exception_ptr eptr;         ///< guarded by mu
+    std::size_t eidx = 0;            ///< index whose exception eptr holds
+  };
+
+  static void RunTasks(Batch& b) {
+    for (;;) {
+      const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b.n) return;
+      std::exception_ptr e;
+      try {
+        b.fn(i);
+      } catch (...) {
+        e = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(b.mu);
+      if (e && (!b.eptr || i < b.eidx)) {
+        b.eptr = e;
+        b.eidx = i;
+      }
+      if (++b.done == b.n) b.done_cv.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+          return stop_ ||
+                 (current_ != nullptr &&
+                  current_->next.load(std::memory_order_relaxed) <
+                      current_->n);
+        });
+        if (stop_) return;
+        batch = current_;
+      }
+      RunTasks(*batch);
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Batch> current_;  ///< guarded by mu_
+  bool stop_ = false;               ///< guarded by mu_
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_CORE_THREAD_POOL_H_

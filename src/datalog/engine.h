@@ -8,12 +8,15 @@
 #define DATALOGO_DATALOG_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/core/check.h"
 #include "src/core/status.h"
+#include "src/core/thread_pool.h"
 #include "src/datalog/ast.h"
 #include "src/datalog/instance.h"
 #include "src/relation/relation.h"
@@ -39,6 +42,19 @@ struct EngineOptions {
   /// whole run; IDB indexes until their relation mutates). Off = the
   /// seed's rebuild-per-disjunct behaviour, kept for benchmarking.
   bool cache_indexes = true;
+  /// Worker parallelism for ICO applications. <= 1 runs the sequential
+  /// kernel unchanged; N > 1 fans compiled disjuncts (and row-range
+  /// shards of each disjunct's driver entry list) out across N threads
+  /// and reduces the per-task partial relations in a fixed order, so
+  /// fixpoints, `work` counters and index-cache counters are identical
+  /// to the sequential run (see the class comment). 0 = one thread per
+  /// hardware core.
+  int num_threads = 1;
+  /// Target driver (level-0) entries per parallel shard. Deliberately
+  /// independent of num_threads: the shard structure — and therefore the
+  /// deterministic reduce tree — depends only on the data, so results
+  /// are identical at every thread count, not merely per thread count.
+  int shard_rows = 256;
 };
 
 /// Relational evaluation of a datalog° program over a naturally ordered
@@ -48,11 +64,29 @@ struct EngineOptions {
 /// supports, reusing preallocated per-disjunct buffers so the inner loop
 /// does not allocate.
 ///
-/// Thread safety: the evaluation entry points are const but memoize
-/// RelationIndexes and reuse evaluation scratch buffers through mutable
-/// members, so one Engine must not be shared across threads without
-/// external synchronization (use one Engine per thread — compilation is
-/// cheap).
+/// With EngineOptions::num_threads > 1 each ICO application runs in three
+/// phases: a sequential *prepare* phase resolves every disjunct's indexes
+/// through the cache (all cache mutation and counter traffic happens
+/// here, in the same order as a sequential run — so `index_builds`,
+/// `idb_index_builds/hits` etc. are bit-identical), a parallel *execute*
+/// phase fans (disjunct, driver-row-range shard) tasks out to a
+/// ThreadPool — each task reads only immutable prepared state and writes
+/// a task-private partial Relation and work counter — and a sequential
+/// *reduce* phase merges the partials into the head relations in (rule,
+/// disjunct [, occurrence], shard) order. Because shard s's driver
+/// entries all precede shard s+1's, that fixed order replays the exact
+/// head-merge sequence of the sequential kernel, so fixpoints and `work`
+/// are identical at every thread count (for ⊕ that is exactly
+/// associative — every shipped discrete/min/max semiring; a floating-
+/// point *sum* ⊕ may differ from sequential by reassociation rounding
+/// across shard-boundary key collisions, but is still deterministic for
+/// a fixed shard_rows).
+///
+/// Thread safety: internal parallelism is safe by the phase structure
+/// above (mutable caches and scratch pools are touched only in the
+/// sequential phases). One Engine object must still not be *shared*
+/// across caller threads without external synchronization — use one
+/// Engine per thread; compilation is cheap.
 template <NaturallyOrderedSemiring P>
 class Engine {
  public:
@@ -60,7 +94,15 @@ class Engine {
          EngineOptions options = {})
       : prog_(&prog), edb_(&edb), options_(options) {
     Compile();
+    int threads = options_.num_threads;
+    if (threads == 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   }
+
+  /// Threads an ICO application executes on (1 = sequential kernel).
+  int num_threads() const { return pool_ ? pool_->concurrency() : 1; }
 
   /// Indexes constructed so far (cached or not) — the bench counter for
   /// the index-caching win.
@@ -97,12 +139,21 @@ class Engine {
     // stays keyed to live uids instead of orphaning entries every round.
     IdbInstance<P> next = frozen;
     uint64_t work = 0;
+    // Units are loop-invariant: the resolvers capture `j` itself, whose
+    // Relation objects stay stable across iterations (TakeContentsFrom
+    // moves contents, not objects) — build once, reuse every round.
+    const std::vector<EvalUnit> units =
+        pool_ ? NaiveUnits(rule_ids, j) : std::vector<EvalUnit>{};
     for (int t = 0; t < max_steps; ++t) {
       SweepCaches();
       if (t > 0) next.CopyContentsFrom(frozen);
-      for (int r : rule_ids) {
-        DLO_CHECK(r >= 0 && r < static_cast<int>(compiled_.size()));
-        ApplyRule(compiled_[r], j, &next, &work);
+      if (pool_) {
+        ApplyUnitsParallel(units, &next, &work);
+      } else {
+        for (int r : rule_ids) {
+          DLO_CHECK(r >= 0 && r < static_cast<int>(compiled_.size()));
+          ApplyRule(compiled_[r], j, &next, &work);
+        }
       }
       if (next.Equals(j)) {
         return {std::move(j), t, true, work};
@@ -177,25 +228,57 @@ class Engine {
     // orphaned entry per iteration.
     IdbInstance<P> candidate(*prog_);
     IdbInstance<P> next_delta(*prog_);
+    // Units enumerate (rule, disjunct, occurrence) in the exact order of
+    // the sequential loop below; ApplyUnitsParallel prepares and reduces
+    // in that order, so counters and fixpoints agree. Loop-invariant:
+    // the resolvers capture the persistent t_new/delta/t_old instances,
+    // whose Relation objects stay stable across iterations.
+    std::vector<EvalUnit> units;
+    if (pool_) {
+      for (const CompiledRule& cr : compiled_) {
+        for (const CompiledDisjunct& cd : cr.disjuncts) {
+          const int occurrences = static_cast<int>(cd.idb_atoms.size());
+          if (occurrences == 0) continue;  // EDB-only part E_i, Eq. (65)
+          const CompiledDisjunct* cdp = &cd;
+          for (int ell = 0; ell < occurrences; ++ell) {
+            units.push_back(EvalUnit{
+                &cr, cdp,
+                [cdp, ell, &t_new, &delta,
+                 &t_old](int atom_index) -> const Relation<P>& {
+                  int pred = cdp->sp->atoms[atom_index].pred;
+                  int occ = cdp->occ_of_atom[atom_index];
+                  DLO_CHECK(occ >= 0);
+                  if (occ < ell) return t_new.idb(pred);
+                  if (occ == ell) return delta.idb(pred);
+                  return t_old.idb(pred);
+                }});
+          }
+        }
+      }
+    }
     for (int t = 1; t < max_steps; ++t) {
       SweepCaches();
       // Candidate C_i = ⊕_ℓ G_i(.., δ_ℓ, ..) using new/old T per Eq. (64).
       candidate.ClearAll();
-      for (const CompiledRule& cr : compiled_) {
-        for (const CompiledDisjunct& cd : cr.disjuncts) {
-          const int occurrences = static_cast<int>(cd.idb_atoms.size());
-          if (occurrences == 0) continue;  // the EDB-only part E_i, Eq. (65)
-          for (int ell = 0; ell < occurrences; ++ell) {
-            auto resolver = [&](int atom_index) -> const Relation<P>& {
-              int pred = cd.sp->atoms[atom_index].pred;
-              int occ = cd.occ_of_atom[atom_index];
-              DLO_CHECK(occ >= 0);
-              if (occ < ell) return t_new.idb(pred);
-              if (occ == ell) return delta.idb(pred);
-              return t_old.idb(pred);
-            };
-            EvalDisjunct(cd, resolver,
-                         &candidate.idb(cr.rule->head.pred), &work);
+      if (pool_) {
+        ApplyUnitsParallel(units, &candidate, &work);
+      } else {
+        for (const CompiledRule& cr : compiled_) {
+          for (const CompiledDisjunct& cd : cr.disjuncts) {
+            const int occurrences = static_cast<int>(cd.idb_atoms.size());
+            if (occurrences == 0) continue;  // EDB-only part E_i, Eq. (65)
+            for (int ell = 0; ell < occurrences; ++ell) {
+              auto resolver = [&](int atom_index) -> const Relation<P>& {
+                int pred = cd.sp->atoms[atom_index].pred;
+                int occ = cd.occ_of_atom[atom_index];
+                DLO_CHECK(occ >= 0);
+                if (occ < ell) return t_new.idb(pred);
+                if (occ == ell) return delta.idb(pred);
+                return t_old.idb(pred);
+              };
+              EvalDisjunct(cd, resolver,
+                           &candidate.idb(cr.rule->head.pred), &work);
+            }
           }
         }
       }
@@ -288,20 +371,59 @@ class Engine {
     std::vector<CompiledDisjunct> disjuncts;
   };
 
-  /// Reusable evaluation buffers for one disjunct, sized at Compile()
-  /// time. Evaluating a disjunct allocates nothing: bindings, per-level
-  /// join keys, per-level accumulators and the head tuple all live here.
+  /// Reusable join-state buffers for one disjunct evaluation, sized by
+  /// SizeScratch(). Executing a disjunct allocates nothing: bindings,
+  /// per-level join keys, per-level accumulators and the head tuple all
+  /// live here. One Scratch belongs to exactly one concurrent task — the
+  /// sequential kernel keeps one per disjunct; the parallel kernel keeps
+  /// one per (disjunct, shard) task slot.
   struct Scratch {
     std::vector<ConstId> binding;          ///< rule-variable slots
     std::vector<typename P::Value> acc;    ///< acc[g] = value entering level g
     std::vector<Tuple> keys;               ///< per-level key buffers
     Tuple head;                            ///< head tuple buffer
+    std::vector<const RowIdList*> entries;  ///< per-level matched row ids
+    std::vector<std::size_t> next;         ///< per-level entry cursor
+  };
+
+  /// Per-generator inputs of one disjunct evaluation, resolved during the
+  /// sequential prepare phase (the only phase that touches the index
+  /// caches, build counters, or — with caching off — builds throwaway
+  /// local indexes). Immutable during the execute phase, so any number of
+  /// shard tasks of the same evaluation may read it concurrently.
+  struct PreparedGens {
     std::vector<const RelationIndex<P>*> pops_idx;
     std::vector<const RelationIndex<BoolS>*> bool_idx;
     std::vector<const Relation<P>*> pops_rel;    ///< row-id decode target
     std::vector<const Relation<BoolS>*> bool_rel;
-    std::vector<const RowIdList*> entries;  ///< per-level matched row ids
-    std::vector<std::size_t> next;         ///< per-level entry cursor
+    /// The driver: level 0's matched entry list (its key depends only on
+    /// prebindings, so it is known before execution and is what shards
+    /// partition). Null iff the disjunct has no generators.
+    const RowIdList* level0 = nullptr;
+    /// Caching off: owning storage keeping rebuilt indexes alive for the
+    /// duration of the execute phase (the seed's rebuild-per-disjunct
+    /// behaviour, preserved for benchmarking).
+    std::vector<std::unique_ptr<RelationIndex<P>>> local_pops;
+    std::vector<std::unique_ptr<RelationIndex<BoolS>>> local_bool;
+  };
+
+  /// One unit of parallel evaluation: a disjunct plus the resolver that
+  /// maps its IDB atoms to concrete relation instances (naive: the
+  /// current J; semi-naive: the Eq. (64) new/delta/old split for one
+  /// occurrence index).
+  struct EvalUnit {
+    const CompiledRule* cr;
+    const CompiledDisjunct* cd;
+    std::function<const Relation<P>&(int)> resolver;
+  };
+
+  /// Reusable per-task state of the parallel execute phase: join scratch,
+  /// the task-private partial head relation, and the task's work counter.
+  struct TaskState {
+    Scratch scratch;
+    Relation<P> partial;
+    uint64_t work = 0;
+    const CompiledDisjunct* sized_for = nullptr;  ///< scratch shape guard
   };
 
   void Compile() {
@@ -432,23 +554,13 @@ class Engine {
           }
         }
 
-        // Reusable evaluation buffers, exactly sized for this disjunct.
+        // Reusable evaluation buffers, exactly sized for this disjunct
+        // (the sequential kernel's one-task-per-disjunct slots).
         cd.scratch_id = static_cast<int>(scratch_.size());
         Scratch sc;
-        sc.binding.assign(rule.num_vars, kUnbound);
-        sc.acc.assign(cd.generators.size() + 1, P::One());
-        sc.keys.reserve(cd.generators.size());
-        for (const Generator& g : cd.generators) {
-          sc.keys.emplace_back(g.key_positions.size(), 0);
-        }
-        sc.head = Tuple(rule.head.args.size(), 0);
-        sc.pops_idx.resize(cd.generators.size());
-        sc.bool_idx.resize(cd.generators.size());
-        sc.pops_rel.resize(cd.generators.size());
-        sc.bool_rel.resize(cd.generators.size());
-        sc.entries.resize(cd.generators.size());
-        sc.next.resize(cd.generators.size());
+        SizeScratch(rule, cd, &sc);
         scratch_.push_back(std::move(sc));
+        prepared_.emplace_back();
 
         cr.disjuncts.push_back(std::move(cd));
       }
@@ -466,8 +578,106 @@ class Engine {
   /// F(J) evaluated into `out` (fresh instance), counting join work.
   void ApplyIco(const IdbInstance<P>& j, IdbInstance<P>* out,
                 uint64_t* work) const {
+    if (pool_) {
+      std::vector<int> all(compiled_.size());
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = static_cast<int>(i);
+      }
+      std::vector<EvalUnit> units = NaiveUnits(all, j);
+      ApplyUnitsParallel(units, out, work);
+      return;
+    }
     for (const CompiledRule& cr : compiled_) {
       ApplyRule(cr, j, out, work);
+    }
+  }
+
+  /// The naive-evaluation units for a rule subset: every disjunct of every
+  /// listed rule, resolving IDB atoms against `j` — in the exact order the
+  /// sequential ApplyRule loop evaluates them.
+  std::vector<EvalUnit> NaiveUnits(const std::vector<int>& rule_ids,
+                                   const IdbInstance<P>& j) const {
+    std::vector<EvalUnit> units;
+    for (int r : rule_ids) {
+      DLO_CHECK(r >= 0 && r < static_cast<int>(compiled_.size()));
+      const CompiledRule& cr = compiled_[r];
+      for (const CompiledDisjunct& cd : cr.disjuncts) {
+        const CompiledDisjunct* cdp = &cd;
+        units.push_back(EvalUnit{
+            &cr, cdp, [cdp, &j](int atom_index) -> const Relation<P>& {
+              return j.idb(cdp->sp->atoms[atom_index].pred);
+            }});
+      }
+    }
+    return units;
+  }
+
+  /// The parallel ICO step. Three phases (see the class comment):
+  ///  1. prepare (sequential): resolve every unit's generator indexes —
+  ///     all cache/counters traffic, in unit order — and shard each
+  ///     unit's driver entry list into row ranges of <= shard_rows.
+  ///  2. execute (parallel): every (unit, shard) task joins its driver
+  ///     range into a task-private partial relation with a task-private
+  ///     work counter; tasks share only immutable prepared state.
+  ///  3. reduce (sequential): merge partials into the head relations and
+  ///     work into the run counter, in (unit, shard) order — replaying
+  ///     the sequential kernel's exact head-merge sequence.
+  void ApplyUnitsParallel(const std::vector<EvalUnit>& units,
+                          IdbInstance<P>* out, uint64_t* work) const {
+    if (par_prepared_.size() < units.size()) {
+      par_prepared_.resize(units.size());
+    }
+    struct TaskRef {
+      int unit;
+      std::size_t begin;
+      std::size_t end;
+    };
+    std::vector<TaskRef> tasks;
+    const std::size_t shard_rows =
+        options_.shard_rows < 1 ? 1
+                                : static_cast<std::size_t>(options_.shard_rows);
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      PreparedGens& prep = par_prepared_[u];
+      PrepareGens(*units[u].cd, units[u].resolver, &prep);
+      if (units[u].cd->generators.empty()) {
+        // No driver to shard; one task emits the empty-product head.
+        tasks.push_back(TaskRef{static_cast<int>(u), 0, 0});
+        continue;
+      }
+      const std::size_t n0 = prep.level0->size();
+      for (std::size_t b = 0; b < n0; b += shard_rows) {
+        tasks.push_back(
+            TaskRef{static_cast<int>(u), b, std::min(n0, b + shard_rows)});
+      }
+    }
+    if (par_states_.size() < tasks.size()) par_states_.resize(tasks.size());
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const EvalUnit& un = units[static_cast<std::size_t>(tasks[t].unit)];
+      TaskState& st = par_states_[t];
+      if (st.sized_for != un.cd) {
+        SizeScratch(*un.cr->rule, *un.cd, &st.scratch);
+        st.sized_for = un.cd;
+      }
+      const int head_arity = static_cast<int>(un.cr->rule->head.args.size());
+      if (st.partial.arity() != head_arity) {
+        st.partial = Relation<P>(head_arity);
+      } else {
+        st.partial.Clear();
+      }
+      st.work = 0;
+    }
+    pool_->ParallelFor(tasks.size(), [&](std::size_t t) {
+      const TaskRef& tr = tasks[t];
+      const EvalUnit& un = units[static_cast<std::size_t>(tr.unit)];
+      TaskState& st = par_states_[t];
+      ExecuteShard(*un.cd, par_prepared_[static_cast<std::size_t>(tr.unit)],
+                   st.scratch, tr.begin, tr.end, &st.partial, &st.work);
+    });
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const EvalUnit& un = units[static_cast<std::size_t>(tasks[t].unit)];
+      out->idb(un.cr->rule->head.pred)
+          .MergeFrom(std::move(par_states_[t].partial));
+      *work += par_states_[t].work;
     }
   }
 
@@ -530,12 +740,27 @@ class Engine {
     return false;
   }
 
+  /// Sizes a Scratch's buffers for one disjunct (idempotent; reuses
+  /// capacity when a task slot is re-pointed at the same shape).
+  void SizeScratch(const Rule& rule, const CompiledDisjunct& cd,
+                   Scratch* sc) const {
+    sc->binding.assign(static_cast<std::size_t>(rule.num_vars), kUnbound);
+    sc->acc.assign(cd.generators.size() + 1, P::One());
+    sc->keys.clear();
+    sc->keys.reserve(cd.generators.size());
+    for (const Generator& g : cd.generators) {
+      sc->keys.emplace_back(g.key_positions.size(), 0);
+    }
+    sc->head = Tuple(rule.head.args.size(), 0);
+    sc->entries.assign(cd.generators.size(), nullptr);
+    sc->next.assign(cd.generators.size(), 0);
+  }
+
   /// Residual checks + zero filter + head construction for one complete
-  /// join binding; merges the result into `out`. Uses the disjunct's
+  /// join binding; merges the result into `out`. Uses the task's
   /// preallocated head buffer — no allocation on this path.
-  void EmitHead(const CompiledDisjunct& cd, const typename P::Value& acc,
-                Relation<P>* out) const {
-    Scratch& sc = scratch_[cd.scratch_id];
+  void EmitHead(const CompiledDisjunct& cd, Scratch& sc,
+                const typename P::Value& acc, Relation<P>* out) const {
     for (const Condition* c : cd.residual) {
       if (!CheckCondition(*c, sc.binding)) return;
     }
@@ -548,48 +773,55 @@ class Engine {
   }
 
   /// Evaluates one sum-product under `resolver` (mapping IDB atom indexes
-  /// to the relation instance to read), merging results into `out`.
-  ///
-  /// Executes the compiled flat join program with an explicit iterative
-  /// loop over generator levels: per level, the key buffer is filled from
-  /// precomputed sources, looked up in the (cached) index, and each entry
-  /// runs its bind/check ops — no recursion, no per-entry allocation, no
-  /// Term re-inspection. Unbinding on backtrack is unnecessary: which
-  /// variables are bound at each level is static, so stale slots are
-  /// always overwritten before being read.
+  /// to the relation instance to read), merging results into `out` — the
+  /// sequential kernel: prepare, then execute the whole driver range with
+  /// the disjunct's own scratch slot.
   template <typename Resolver>
   void EvalDisjunct(const CompiledDisjunct& cd, Resolver&& resolver,
                     Relation<P>* out, uint64_t* work) const {
-    Scratch& sc = scratch_[cd.scratch_id];
-    for (const auto& [v, c] : cd.prebindings) sc.binding[v] = c;
+    PreparedGens& prep = prepared_[static_cast<std::size_t>(cd.scratch_id)];
+    PrepareGens(cd, resolver, &prep);
+    ExecuteShard(cd, prep, scratch_[static_cast<std::size_t>(cd.scratch_id)],
+                 0, static_cast<std::size_t>(-1), out, work);
+  }
 
+  /// Prepare phase of one disjunct evaluation: resolves every generator's
+  /// relation and index (through the cache — the only place build/hit
+  /// counters move — or into owned locals with caching off) and looks up
+  /// the driver entry list (level 0's key depends only on prebindings).
+  /// Sequential by construction: callers never overlap PrepareGens with
+  /// the parallel execute phase.
+  template <typename Resolver>
+  void PrepareGens(const CompiledDisjunct& cd, Resolver&& resolver,
+                   PreparedGens* prep) const {
     const std::size_t levels = cd.generators.size();
-
-    // Per-generator indexes: served from the engine-level cache (invalid
-    // the moment the underlying relation mutates) or, with caching off,
-    // rebuilt into locals exactly as the seed engine did.
-    std::vector<std::unique_ptr<RelationIndex<P>>> local_pops;
-    std::vector<std::unique_ptr<RelationIndex<BoolS>>> local_bool;
+    prep->pops_idx.assign(levels, nullptr);
+    prep->bool_idx.assign(levels, nullptr);
+    prep->pops_rel.assign(levels, nullptr);
+    prep->bool_rel.assign(levels, nullptr);
+    prep->level0 = nullptr;
+    prep->local_pops.clear();
+    prep->local_bool.clear();
     for (std::size_t g = 0; g < levels; ++g) {
       const Generator& gen = cd.generators[g];
       if (gen.is_bool) {
         const Relation<BoolS>& rel = edb_->boolean(gen.pred);
         if (options_.cache_indexes) {
-          sc.bool_idx[g] = &bool_cache_.Get(rel, gen.key_positions);
+          prep->bool_idx[g] = &bool_cache_.Get(rel, gen.key_positions);
         } else {
           ++uncached_builds_;
-          local_bool.push_back(
+          prep->local_bool.push_back(
               std::make_unique<RelationIndex<BoolS>>(rel,
                                                      gen.key_positions));
-          sc.bool_idx[g] = local_bool.back().get();
+          prep->bool_idx[g] = prep->local_bool.back().get();
         }
-        sc.bool_rel[g] = &rel;
+        prep->bool_rel[g] = &rel;
       } else {
         const Relation<P>& rel =
             gen.is_idb ? resolver(gen.atom_index) : edb_->pops(gen.pred);
         if (options_.cache_indexes) {
           const uint64_t before = pops_cache_.builds();
-          sc.pops_idx[g] = &pops_cache_.Get(rel, gen.key_positions);
+          prep->pops_idx[g] = &pops_cache_.Get(rel, gen.key_positions);
           if (gen.is_idb) {
             if (pops_cache_.builds() != before) {
               ++idb_index_builds_;
@@ -599,21 +831,70 @@ class Engine {
           }
         } else {
           ++uncached_builds_;
-          local_pops.push_back(
+          prep->local_pops.push_back(
               std::make_unique<RelationIndex<P>>(rel, gen.key_positions));
-          sc.pops_idx[g] = local_pops.back().get();
+          prep->pops_idx[g] = prep->local_pops.back().get();
         }
-        sc.pops_rel[g] = &rel;
+        prep->pops_rel[g] = &rel;
       }
     }
+    if (levels == 0) return;
+    // The driver entry list: level 0's key sources are constants or
+    // prebound variables (nothing else is bound before the first
+    // generator), so the lookup is independent of join state.
+    const Generator& g0 = cd.generators[0];
+    Tuple key(g0.key_positions.size(), 0);
+    for (std::size_t i = 0; i < g0.key_sources.size(); ++i) {
+      const ValueSource& s = g0.key_sources[i];
+      if (s.var < 0) {
+        key[i] = s.constant;
+        continue;
+      }
+      ConstId c = kUnbound;
+      for (const auto& [v, pc] : cd.prebindings) {
+        if (v == s.var) c = pc;
+      }
+      DLO_CHECK(c != kUnbound);
+      key[i] = c;
+    }
+    prep->level0 = g0.is_bool ? &prep->bool_idx[0]->Lookup(key)
+                              : &prep->pops_idx[0]->Lookup(key);
+  }
 
+  /// Execute phase: joins driver entries [begin, end) of a prepared
+  /// disjunct into `out`, counting visited entries into `work`.
+  ///
+  /// Runs the compiled flat join program with an explicit iterative loop
+  /// over generator levels: per level, the key buffer is filled from
+  /// precomputed sources, looked up in the prepared index, and each entry
+  /// runs its bind/check ops — no recursion, no per-entry allocation, no
+  /// Term re-inspection. Unbinding on backtrack is unnecessary: which
+  /// variables are bound at each level is static, so stale slots are
+  /// always overwritten before being read.
+  ///
+  /// Const-path safety: reads only immutable prepared/compiled state and
+  /// the (unchanging) input relations; writes only `sc`, `out` and
+  /// `work`, which belong exclusively to the calling task — so shards
+  /// execute concurrently without synchronization.
+  void ExecuteShard(const CompiledDisjunct& cd, const PreparedGens& prep,
+                    Scratch& sc, std::size_t begin, std::size_t end,
+                    Relation<P>* out, uint64_t* work) const {
+    for (const auto& [v, c] : cd.prebindings) sc.binding[v] = c;
+
+    const std::size_t levels = cd.generators.size();
     if (levels == 0) {
-      EmitHead(cd, P::One(), out);
+      EmitHead(cd, sc, P::One(), out);
       return;
     }
+    const RowIdList& driver = *prep.level0;
+    if (end > driver.size()) end = driver.size();
+    if (begin >= end) return;
+    sc.entries[0] = &driver;
+    sc.next[0] = begin;
 
     // Fills level `lvl`'s key buffer from the current binding and points
-    // its cursor at the matching entry list.
+    // its cursor at the matching entry list (levels >= 1 only; level 0's
+    // list is the prepared driver).
     auto enter_level = [&](std::size_t lvl) {
       const Generator& gen = cd.generators[lvl];
       Tuple& key = sc.keys[lvl];
@@ -622,20 +903,20 @@ class Engine {
         key[i] = s.var >= 0 ? sc.binding[s.var] : s.constant;
       }
       if (gen.is_bool) {
-        sc.entries[lvl] = &sc.bool_idx[lvl]->Lookup(key);
+        sc.entries[lvl] = &prep.bool_idx[lvl]->Lookup(key);
       } else {
-        sc.entries[lvl] = &sc.pops_idx[lvl]->Lookup(key);
+        sc.entries[lvl] = &prep.pops_idx[lvl]->Lookup(key);
       }
       sc.next[lvl] = 0;
     };
 
     sc.acc[0] = P::One();
     std::size_t g = 0;
-    enter_level(0);
     for (;;) {
       const Generator& gen = cd.generators[g];
       const RowIdList& entries = *sc.entries[g];
-      if (sc.next[g] == entries.size()) {
+      const std::size_t limit = g == 0 ? end : entries.size();
+      if (sc.next[g] == limit) {
         if (g == 0) break;
         --g;
         continue;
@@ -659,16 +940,16 @@ class Engine {
       bool matched;
       const typename P::Value* value = nullptr;
       if (gen.is_bool) {
-        matched = run_entry_ops(*sc.bool_rel[g]);
+        matched = run_entry_ops(*prep.bool_rel[g]);
       } else {
-        const Relation<P>& rel = *sc.pops_rel[g];
+        const Relation<P>& rel = *prep.pops_rel[g];
         matched = run_entry_ops(rel);
         value = &rel.ValueAt(row);
       }
       if (!matched) continue;
       sc.acc[g + 1] = value ? P::Times(sc.acc[g], *value) : sc.acc[g];
       if (g + 1 == levels) {
-        EmitHead(cd, sc.acc[levels], out);
+        EmitHead(cd, sc, sc.acc[levels], out);
       } else {
         ++g;
         enter_level(g);
@@ -680,11 +961,18 @@ class Engine {
   const EdbInstance<P>* edb_;
   EngineOptions options_;
   std::vector<CompiledRule> compiled_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads <= 1
   // Mutable: evaluation entry points are const, but memoizing indexes,
-  // counting builds, and reusing per-disjunct evaluation buffers are all
-  // invisible to callers (and are why one Engine is not shareable across
-  // threads — see the class comment).
+  // counting builds, and reusing evaluation buffers are all invisible to
+  // callers. Every one of these members is touched only in the
+  // sequential prepare/reduce phases (never during the fanned-out
+  // execute phase), which is what makes internal parallelism safe — and
+  // also why one Engine object is still not shareable across *caller*
+  // threads (see the class comment).
   mutable std::vector<Scratch> scratch_;  ///< one per compiled disjunct
+  mutable std::vector<PreparedGens> prepared_;  ///< one per disjunct
+  mutable std::vector<PreparedGens> par_prepared_;  ///< one per eval unit
+  mutable std::vector<TaskState> par_states_;  ///< one per (unit, shard)
   mutable IndexCache<P> pops_cache_;
   mutable IndexCache<BoolS> bool_cache_;
   mutable uint64_t uncached_builds_ = 0;

@@ -185,6 +185,29 @@ class Relation {
   void Merge(const Tuple& t, const Value& v) { MergeKey(t, v); }
   void Merge(const RowView& key, const Value& v) { MergeKey(key, v); }
 
+  /// r ← r ⊕ other, consuming `other` (left empty but structurally valid):
+  /// the reduce primitive for the engine's parallel per-task partials.
+  /// When this relation holds no rows at all the partial's storage is
+  /// adopted wholesale — one move, with the uid (and therefore cached-
+  /// index identity) of *this preserved. Otherwise every live row of
+  /// `other` is upserted in row order, which is exactly the Merge-call
+  /// sequence a sequential evaluation of the same contributions would
+  /// have issued — the foundation of the parallel step's determinism.
+  void MergeFrom(Relation&& other) {
+    DLO_CHECK(arity_ == other.arity_);
+    if (this == &other || other.live_ == 0) return;
+    if (values_.empty()) {
+      *this = std::move(other);  // keeps this->uid_, bumps both versions
+      return;
+    }
+    const uint32_t n = other.num_rows();
+    for (uint32_t r = 0; r < n; ++r) {
+      if (!other.live_flags_[r]) continue;
+      MergeKey(other.View(r), other.values_[r].v);
+    }
+    other.Clear();
+  }
+
   /// Empties the relation but keeps column/slot capacity, so a Clear +
   /// refill cycle (persistent delta relations) does not reallocate.
   void Clear() {

@@ -3,6 +3,11 @@
 // budgets, and degenerate instances.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+
 #include "src/datalogo.h"
 #include "tests/ci_knob.h"
 
@@ -220,6 +225,78 @@ TEST(EngineStress, CachedEngineAgreesWithUncachedAndBuildsFewerIndexes) {
     EXPECT_TRUE(cs.idb.Equals(us.idb)) << seed;
     EXPECT_LT(cached.index_builds(), uncached.index_builds()) << seed;
     EXPECT_GT(cached.index_hits(), 0u) << seed;
+  }
+}
+
+/// Thread count for the parallel stress sweep: DATALOGO_THREADS if set
+/// (the tsan CI preset exports 4), else 4.
+int StressThreads() {
+  const char* v = std::getenv("DATALOGO_THREADS");
+  if (v != nullptr && v[0] != '\0') {
+    int t = std::atoi(v);
+    if (t >= 1) return t;
+  }
+  return 4;
+}
+
+TEST(EngineStress, ParallelRandomProgramsMatchSequential) {
+  // Randomized programs (1-2 IDB predicates, 1-3 disjuncts each, sampled
+  // from a range-restricted template grammar) over randomized EDBs: the
+  // parallel engine must reproduce the sequential fixpoint, work counter
+  // and iteration count exactly, across thread counts and shard sizes —
+  // including shard_rows = 1, one task per driver entry.
+  const int cases = CiIterations(12, 4);
+  const int env_threads = StressThreads();
+  std::mt19937_64 rng(0xD47A1060u);
+  for (int c = 0; c < cases; ++c) {
+    std::ostringstream text;
+    const bool two_idb = rng() % 2 == 0;
+    text << "edb E/2.\nidb T/2.\n";
+    if (two_idb) text << "idb U/2.\n";
+    text << "T(X,Y) :- E(X,Y)";
+    if (rng() % 2 == 0) text << " ; T(X,Z) * E(Z,Y)";
+    if (rng() % 2 == 0) text << " ; T(X,Z) * T(Z,Y)";
+    if (rng() % 3 == 0) text << " ; { E(X,Z) * E(Z,Y) | X != Y }";
+    text << ".\n";
+    if (two_idb) {
+      text << "U(X,Y) :- T(X,Y)";
+      if (rng() % 2 == 0) text << " ; U(X,Z) * E(Z,Y)";
+      text << ".\n";
+    }
+    SCOPED_TRACE(::testing::Message() << "case " << c << ":\n" << text.str());
+    Domain dom;
+    auto prog = ParseProgram(text.str(), &dom);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    ASSERT_TRUE(ValidateProgram(prog.value()).ok());
+    const int n = 6 + static_cast<int>(rng() % 18);
+    const int m = n + static_cast<int>(rng() % (3 * n));
+    Graph g = RandomGraph(n, m, rng());
+    std::vector<ConstId> ids = InternVertices(n, &dom);
+    EdbInstance<TropS> edb(prog.value());
+    LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                     &edb.pops(prog.value().FindPredicate("E")));
+
+    Engine<TropS> seq(prog.value(), edb);
+    auto base_naive = seq.Naive(100000);
+    auto base_semi = seq.SemiNaive(100000);
+    ASSERT_TRUE(base_naive.converged && base_semi.converged);
+
+    const int threads = c % 2 == 0 ? env_threads : 2 + static_cast<int>(rng() % 2);
+    const int shard_rows = std::array{1, 8, 512}[rng() % 3];
+    SCOPED_TRACE(::testing::Message()
+                 << "threads=" << threads << " shard_rows=" << shard_rows);
+    Engine<TropS> par(prog.value(), edb,
+                      EngineOptions{.num_threads = threads,
+                                    .shard_rows = shard_rows});
+    auto par_naive = par.Naive(100000);
+    auto par_semi = par.SemiNaive(100000);
+    ASSERT_TRUE(par_naive.converged && par_semi.converged);
+    EXPECT_TRUE(par_naive.idb.Equals(base_naive.idb));
+    EXPECT_TRUE(par_semi.idb.Equals(base_semi.idb));
+    EXPECT_EQ(par_naive.work, base_naive.work);
+    EXPECT_EQ(par_semi.work, base_semi.work);
+    EXPECT_EQ(par_naive.steps, base_naive.steps);
+    EXPECT_EQ(par_semi.steps, base_semi.steps);
   }
 }
 

@@ -1,0 +1,126 @@
+// Unit tests for the fork-join ThreadPool underneath the engine's
+// parallel ICO step: task completion, reuse across batches, deterministic
+// (lowest-index) exception propagation to the submitter, and the
+// zero/one-thread degenerate mode that runs inline on the caller.
+#include "src/core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace datalogo {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 3);
+  EXPECT_EQ(pool.concurrency(), 4);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(kTasks, [&](std::size_t i) {
+    runs[i].fetch_add(1);
+    sum.fetch_add(i);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(runs[i].load(), 1);
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, ZeroAndOneThreadRunInlineOnTheCaller) {
+  for (int n : {0, 1}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.workers(), 0);
+    EXPECT_EQ(pool.concurrency(), 1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::size_t ran = 0;
+    std::size_t last = 0;
+    pool.ParallelFor(64, [&](std::size_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      // Inline mode is a plain ordered loop.
+      if (ran > 0) EXPECT_EQ(i, last + 1);
+      last = i;
+      ++ran;
+    });
+    EXPECT_EQ(ran, 64u);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 100; ++batch) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(17, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 17) << "batch " << batch;
+  }
+  // Empty batches are a no-op, not a hang.
+  pool.ParallelFor(0, [&](std::size_t) { FAIL() << "no tasks expected"; });
+}
+
+TEST(ThreadPool, PropagatesLowestIndexExceptionAfterFullBatch) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    try {
+      pool.ParallelFor(100, [&](std::size_t i) {
+        if (i == 7) throw std::runtime_error("task 7");
+        if (i == 3) throw std::runtime_error("task 3");
+        ran.fetch_add(1);
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      // Both tasks throw; the lowest index wins deterministically.
+      EXPECT_STREQ(e.what(), "task 3") << "threads=" << threads;
+    }
+    // Every non-throwing task was still attempted.
+    EXPECT_EQ(ran.load(), 98) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, UsableAfterAnExceptionalBatch) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](std::size_t i) {
+                     if (i == 2) throw std::logic_error("boom");
+                   }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.ParallelFor(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ProvidesRealConcurrency) {
+  // Four tasks rendezvous at a latch: this can only complete if all four
+  // run at the same time, i.e. the pool really provides concurrency 4
+  // (3 workers + the submitting thread).
+  ThreadPool pool(4);
+  std::latch rendezvous(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(4, [&](std::size_t) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ids.insert(std::this_thread::get_id());
+    }
+    rendezvous.arrive_and_wait();
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ThreadPool, SubmitterObservesTaskWritesWithoutAtomics) {
+  // The barrier at the end of ParallelFor must publish every task's
+  // plain (non-atomic) writes to the submitter — the engine's partial
+  // relations depend on it.
+  ThreadPool pool(4);
+  std::vector<uint64_t> out(512, 0);
+  pool.ParallelFor(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace datalogo
