@@ -1,0 +1,79 @@
+# Scheduler equivalence smoke at the CLI surface, mirroring
+# cli_threads_smoke.cmake:
+#   1. On a single-group program (PROGRAM), --scheduler=ordered must be
+#      byte-identical to --scheduler=sweep — the ordered scheduler replays
+#      the global semi-naive trace there, stability index included.
+#   2. On a multi-group program (MULTI_PROGRAM), the fixpoints must match
+#      after stripping '#' comment lines (the stability index legitimately
+#      differs: ordered spends one seed step per group).
+#   3. Ordered with --threads=4 must be byte-identical to ordered serial —
+#      thread-count invariance holds per scheduler.
+#
+# Invoked by CTest as:
+#   cmake -DCLI=<datalogo_cli> -DPROGRAM=<.dl> -DMULTI_PROGRAM=<.dl>
+#         -DEDGES=<.tsv> -DOUT_DIR=<dir> -P cli_scheduler_smoke.cmake
+foreach(var CLI PROGRAM MULTI_PROGRAM EDGES OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_scheduler_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+function(run_cli out_file)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    OUTPUT_FILE ${out_file}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "datalogo_cli ${ARGN} failed (exit ${rc})")
+  endif()
+endfunction()
+
+# Drops '#'-prefixed comment lines, keeping only the TSV fixpoint rows.
+function(strip_comments in_file out_file)
+  file(STRINGS ${in_file} lines)
+  set(kept "")
+  foreach(line IN LISTS lines)
+    if(NOT line MATCHES "^#")
+      string(APPEND kept "${line}\n")
+    endif()
+  endforeach()
+  file(WRITE ${out_file} "${kept}")
+endfunction()
+
+function(require_identical a b what)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR "${what} differ: ${a} vs ${b}")
+  endif()
+endfunction()
+
+set(base_args --semiring=trop --edb E=${EDGES} --seminaive)
+
+# 1. Single-group program: full byte identity, stability index included.
+set(sweep_out "${OUT_DIR}/cli_sched_sweep.out")
+set(ordered_out "${OUT_DIR}/cli_sched_ordered.out")
+run_cli(${sweep_out} ${PROGRAM} ${base_args} --scheduler=sweep)
+run_cli(${ordered_out} ${PROGRAM} ${base_args} --scheduler=ordered)
+require_identical(${sweep_out} ${ordered_out}
+                  "sweep and ordered single-group output")
+
+# 2. Multi-group program: identical fixpoints modulo comment lines.
+set(msweep_out "${OUT_DIR}/cli_sched_multi_sweep.out")
+set(mordered_out "${OUT_DIR}/cli_sched_multi_ordered.out")
+run_cli(${msweep_out} ${MULTI_PROGRAM} ${base_args} --scheduler=sweep)
+run_cli(${mordered_out} ${MULTI_PROGRAM} ${base_args} --scheduler=ordered)
+strip_comments(${msweep_out} "${msweep_out}.rows")
+strip_comments(${mordered_out} "${mordered_out}.rows")
+require_identical("${msweep_out}.rows" "${mordered_out}.rows"
+                  "sweep and ordered multi-group fixpoints")
+
+# 3. Ordered is thread-count invariant, byte for byte.
+set(mthreads_out "${OUT_DIR}/cli_sched_multi_ordered_t4.out")
+run_cli(${mthreads_out} ${MULTI_PROGRAM} ${base_args} --scheduler=ordered
+        --threads=4)
+require_identical(${mordered_out} ${mthreads_out}
+                  "ordered serial and ordered --threads=4 output")
+
+message(STATUS "scheduler smoke: sweep/ordered/threads outputs agree")

@@ -2,7 +2,7 @@
 //
 //   datalogo_cli PROGRAM.dl --semiring=trop
 //       --edb E=edges.tsv --bedb G=flags.tsv [--seminaive] [--advise]
-//       [--threads=N]
+//       [--threads=N] [--scheduler=sweep|ordered]
 //
 // Semirings: bool, nat, trop, tropnat, fuzzy, viterbi.
 // POPS EDB TSVs carry the value in the last column; Boolean EDB TSVs are
@@ -29,6 +29,10 @@ struct CliOptions {
   bool advise = false;
   int max_steps = 100000;
   int threads = 1;  // 0 = one per hardware core; results are identical
+  // sweep = global rule sweeps; ordered = reliance-group local fixpoints
+  // with triggered rules. Same fixpoint either way; the stability index
+  // comment line can differ on multi-group programs.
+  Scheduler scheduler = Scheduler::kSweep;
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -68,6 +72,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->max_steps = std::stoi(value_of("--max-steps="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       opt->threads = std::stoi(value_of("--threads="));
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      std::string name = value_of("--scheduler=");
+      if (name == "sweep") {
+        opt->scheduler = Scheduler::kSweep;
+      } else if (name == "ordered") {
+        opt->scheduler = Scheduler::kOrdered;
+      } else {
+        std::fprintf(stderr, "unknown scheduler: %s\n", name.c_str());
+        return false;
+      }
     } else if (arg.rfind("--", 0) != 0) {
       opt->program_path = arg;
     } else {
@@ -139,7 +153,8 @@ int RunAs(const CliOptions& opt, const std::string& text,
   }
 
   Engine<P> engine(prog.value(), edb,
-                   EngineOptions{.num_threads = opt.threads});
+                   EngineOptions{.num_threads = opt.threads,
+                                 .scheduler = opt.scheduler});
   EvalResult<P> result = [&] {
     if constexpr (CompleteDistributiveDioid<P>) {
       if (opt.seminaive) return engine.SemiNaive(opt.max_steps);
@@ -170,7 +185,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: datalogo_cli PROGRAM.dl [--semiring=NAME] "
                  "[--edb P=FILE]... [--bedb P=FILE]... [--seminaive] "
-                 "[--advise] [--max-steps=N] [--threads=N]\n"
+                 "[--advise] [--max-steps=N] [--threads=N] "
+                 "[--scheduler=sweep|ordered]\n"
                  "semirings: bool nat trop tropnat fuzzy viterbi\n");
     return 1;
   }

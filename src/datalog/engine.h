@@ -7,6 +7,7 @@
 #ifndef DATALOGO_DATALOG_ENGINE_H_
 #define DATALOGO_DATALOG_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "src/core/thread_pool.h"
 #include "src/datalog/ast.h"
 #include "src/datalog/instance.h"
+#include "src/datalog/reliance.h"
 #include "src/relation/relation.h"
 #include "src/semiring/boolean.h"
 #include "src/semiring/traits.h"
@@ -34,6 +36,24 @@ struct EvalResult {
   bool converged = false;
   /// Join-work counter: generator entries visited (for the Sec. 6 benches).
   uint64_t work = 0;
+};
+
+/// Rule-scheduling policy for the fixpoint loops.
+enum class Scheduler {
+  /// Re-evaluate every rule on every global iteration — the engine's
+  /// original behaviour, preserved bit-for-bit (fixpoints, `work`, all
+  /// index counters).
+  kSweep,
+  /// Condense the rule reliance graph (reliance.h) into SCC groups and
+  /// run one LOCAL fixpoint per group in topological (producers-first)
+  /// order; inside a group, only rules whose body predicates actually
+  /// received a delta last round are re-evaluated (a triggered set that
+  /// drains with the deltas). Fixpoints are identical to kSweep; on
+  /// multi-group programs the local deltas are smaller and dead rules
+  /// are skipped, so `steps`, `work` and index counters may legitimately
+  /// be LOWER than kSweep's. On single-group programs (every rule
+  /// mutually recursive) the two schedulers are bit-identical.
+  kOrdered,
 };
 
 /// Tuning knobs for Engine.
@@ -55,6 +75,11 @@ struct EngineOptions {
   /// deterministic reduce tree — depends only on the data, so results
   /// are identical at every thread count, not merely per thread count.
   int shard_rows = 256;
+  /// Rule scheduling for Naive/SemiNaive (see Scheduler). Orthogonal to
+  /// num_threads: the ordered scheduler routes each group round through
+  /// the same prepare/execute/reduce phases, so its results and counters
+  /// are identical at every thread count too.
+  Scheduler scheduler = Scheduler::kSweep;
 };
 
 /// Relational evaluation of a datalog° program over a naturally ordered
@@ -93,6 +118,7 @@ class Engine {
   Engine(const Program& prog, const EdbInstance<P>& edb,
          EngineOptions options = {})
       : prog_(&prog), edb_(&edb), options_(options) {
+    reliance_ = BuildRelianceGroups(prog);
     Compile();
     int threads = options_.num_threads;
     if (threads == 0) {
@@ -119,8 +145,21 @@ class Engine {
   uint64_t idb_index_builds() const { return idb_index_builds_; }
   uint64_t idb_index_hits() const { return idb_index_hits_; }
 
+  /// The condensed rule-reliance structure the ordered scheduler executes
+  /// (computed for every engine; kSweep simply ignores it).
+  const RelianceGroups& reliance() const { return reliance_; }
+  /// Local fixpoint rounds executed by the ordered scheduler so far: seed
+  /// applications plus differential rounds, summed over groups.
+  uint64_t group_iterations() const { return group_iterations_; }
+  /// Triggered-set savings: rule evaluations the ordered scheduler skipped
+  /// because none of the rule's body predicates held a live delta.
+  uint64_t rules_skipped() const { return rules_skipped_; }
+
   /// Algorithm 1: J ← F(J) from ⊥ until fixpoint (or budget).
   EvalResult<P> Naive(int max_steps) const {
+    if (options_.scheduler == Scheduler::kOrdered) {
+      return NaiveOrdered(max_steps);
+    }
     std::vector<int> all(compiled_.size());
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
     return NaiveWithRules(all, IdbInstance<P>(*prog_), max_steps);
@@ -207,6 +246,9 @@ class Engine {
   EvalResult<P> SemiNaive(int max_steps) const
     requires CompleteDistributiveDioid<P>
   {
+    if (options_.scheduler == Scheduler::kOrdered) {
+      return SemiNaiveOrdered(max_steps);
+    }
     uint64_t work = 0;
     IdbInstance<P> t_old(*prog_);   // T(t-1)
     IdbInstance<P> t_new(*prog_);   // T(t)
@@ -286,18 +328,9 @@ class Engine {
       next_delta.ClearAll();
       bool all_empty = true;
       for (int pred : prog_->IdbPredicates()) {
-        const Relation<P>& c_rel = candidate.idb(pred);
-        const Relation<P>& tn_rel = t_new.idb(pred);
-        Relation<P>& nd_rel = next_delta.idb(pred);
-        const uint32_t rows = c_rel.num_rows();
-        for (uint32_t r = 0; r < rows; ++r) {
-          if (!c_rel.RowLive(r)) continue;
-          typename P::Value d =
-              P::Minus(c_rel.ValueAt(r), tn_rel.Get(c_rel.View(r)));
-          if (!P::Eq(d, P::Zero())) {
-            nd_rel.Set(c_rel.View(r), d);
-            all_empty = false;
-          }
+        if (DiffRows(candidate.idb(pred), t_new.idb(pred),
+                     &next_delta.idb(pred))) {
+          all_empty = false;
         }
       }
       if (all_empty) {
@@ -306,13 +339,7 @@ class Engine {
       // T(t+1) = T(t) ⊕ δ(t).
       t_old.CopyContentsFrom(t_new);
       for (int pred : prog_->IdbPredicates()) {
-        const Relation<P>& nd_rel = next_delta.idb(pred);
-        Relation<P>& tn_rel = t_new.idb(pred);
-        const uint32_t rows = nd_rel.num_rows();
-        for (uint32_t r = 0; r < rows; ++r) {
-          if (!nd_rel.RowLive(r)) continue;
-          tn_rel.Merge(nd_rel.View(r), nd_rel.ValueAt(r));
-        }
+        MergeRows(next_delta.idb(pred), &t_new.idb(pred));
       }
       delta.TakeContentsFrom(&next_delta);
       t_new.CompactAll();  // tombstone hygiene between fixpoint iterations
@@ -362,6 +389,12 @@ class Engine {
     std::vector<const Condition*> residual;
     std::vector<int> idb_atoms;  ///< indexes of IDB atoms in sp->atoms
     std::vector<int> occ_of_atom;  ///< atom index → IDB occurrence, or -1
+    /// Like idb_atoms/occ_of_atom, restricted to atoms whose predicate is
+    /// a head of this rule's own reliance group — the only atoms that can
+    /// carry a delta during the group's local fixpoint (everything else a
+    /// group reads is already converged, so it resolves to T(t)).
+    std::vector<int> group_atoms;
+    std::vector<int> group_occ_of_atom;  ///< atom index → group occ, or -1
     std::vector<ValueSource> head_sources;  ///< one per head argument
     int scratch_id = -1;  ///< into scratch_ (reusable per-disjunct buffers)
   };
@@ -427,7 +460,11 @@ class Engine {
   };
 
   void Compile() {
-    for (const Rule& rule : prog_->rules()) {
+    for (std::size_t rule_index = 0; rule_index < prog_->rules().size();
+         ++rule_index) {
+      const Rule& rule = prog_->rules()[rule_index];
+      const std::vector<int>& own_group_heads =
+          reliance_.group_heads[reliance_.group_of_rule[rule_index]];
       CompiledRule cr;
       cr.rule = &rule;
       for (std::size_t d = 0; d < rule.disjuncts.size(); ++d) {
@@ -542,6 +579,17 @@ class Engine {
         for (std::size_t k = 0; k < cd.idb_atoms.size(); ++k) {
           cd.occ_of_atom[cd.idb_atoms[k]] = static_cast<int>(k);
         }
+        // Group-restricted occurrence map for the ordered scheduler's
+        // local differential rounds (group_heads are sorted).
+        cd.group_occ_of_atom.assign(sp.atoms.size(), -1);
+        for (int atom : cd.idb_atoms) {
+          if (std::binary_search(own_group_heads.begin(),
+                                 own_group_heads.end(),
+                                 sp.atoms[atom].pred)) {
+            cd.group_occ_of_atom[atom] = static_cast<int>(cd.group_atoms.size());
+            cd.group_atoms.push_back(atom);
+          }
+        }
 
         // Head slots: range restriction (validate.cc) guarantees every
         // head variable is bound once all generators have run.
@@ -610,6 +658,233 @@ class Engine {
       }
     }
     return units;
+  }
+
+  /// Ordered naive evaluation: one local naive fixpoint per reliance
+  /// group, producers first, with everything below frozen — the
+  /// rule-level analogue of stratified evaluation (stratified.h), with
+  /// groups finer than strata. Reaches the same least fixpoint as the
+  /// global sweep: the condensation order makes every predicate a group
+  /// reads (beyond its own heads) final before the group runs. `steps`
+  /// sums the local stability indexes; max_steps is a TOTAL budget
+  /// across groups, so ordered never exceeds the sweep's iteration cap.
+  EvalResult<P> NaiveOrdered(int max_steps) const {
+    IdbInstance<P> j(*prog_);
+    int steps = 0;
+    uint64_t work = 0;
+    for (int g = 0; g < reliance_.num_groups(); ++g) {
+      if (steps >= max_steps) return {std::move(j), max_steps, false, work};
+      EvalResult<P> r =
+          NaiveWithRules(reliance_.groups[g], j, max_steps - steps);
+      steps += r.steps;
+      work += r.work;
+      group_iterations_ +=
+          static_cast<uint64_t>(r.steps) + (r.converged ? 1 : 0);
+      if (!r.converged) return {std::move(r.idb), max_steps, false, work};
+      j = std::move(r.idb);
+    }
+    return {std::move(j), steps, true, work};
+  }
+
+  /// The ordered scheduler's differential evaluation: per reliance group,
+  /// a seed application of the group's rules over the accumulated T
+  /// (δ_g = F_g(T) ⊖ T over the group's heads), then — for recursive
+  /// groups only — local semi-naive rounds (Eq. 64/65 restricted to the
+  /// occurrences of the group's own heads) in which only TRIGGERED rules
+  /// run: a rule re-evaluates iff some group-head predicate it reads
+  /// still holds a live delta. Deltas drain through the shared `delta`
+  /// instance; rules whose inputs have drained count into rules_skipped()
+  /// instead of being evaluated.
+  ///
+  /// Soundness: lower-group predicates are constants of F_g by the
+  /// condensation order, so the differential expansion over group
+  /// occurrences is exactly Eq. (64) for F_g; the warm-start invariant
+  /// F_g(T_prev) ≼ T holds after the seed by x ⊕ (y ⊖ x) ⊒ y and is then
+  /// maintained as in the global algorithm (Theorem 6.4). For a single
+  /// recursive rule (every golden recursion) the local trace replays the
+  /// global one operation for operation — same seed, same rounds, same
+  /// ⊖ scan and merge orders — so fixpoints, steps, `work` and index
+  /// counters are bit-identical to kSweep there.
+  EvalResult<P> SemiNaiveOrdered(int max_steps) const
+    requires CompleteDistributiveDioid<P>
+  {
+    uint64_t work = 0;
+    int steps = 0;
+    IdbInstance<P> t_old(*prog_);  // T before the last local merge
+    IdbInstance<P> t_new(*prog_);  // the accumulated T across groups
+    IdbInstance<P> delta(*prog_);  // live deltas of the running group
+    IdbInstance<P> candidate(*prog_);
+    IdbInstance<P> next_delta(*prog_);
+    std::vector<int> triggered;
+
+    for (int g = 0; g < reliance_.num_groups(); ++g) {
+      const std::vector<int>& rules = reliance_.groups[g];
+      const std::vector<int>& heads = reliance_.group_heads[g];
+      if (steps >= max_steps) {
+        return {std::move(t_new), max_steps, false, work};
+      }
+
+      // Seed: C = F_g(T), δ = C ⊖ T over the group's heads. For the
+      // first group T = 0, making this exactly the global t = 0 step.
+      candidate.ClearPreds(heads);
+      if (pool_) {
+        ApplyUnitsParallel(NaiveUnits(rules, t_new), &candidate, &work);
+      } else {
+        for (int r : rules) ApplyRule(compiled_[r], t_new, &candidate, &work);
+      }
+      ++steps;
+      ++group_iterations_;
+      delta.ClearPreds(heads);  // may hold stale rows of a shared head
+      bool any_delta = false;
+      for (int pred : heads) {
+        if (DiffRows(candidate.idb(pred), t_new.idb(pred),
+                     &delta.idb(pred))) {
+          any_delta = true;
+        }
+      }
+      if (!any_delta) continue;
+      t_old.CopyPredsFrom(t_new, heads);
+      for (int pred : heads) MergeRows(delta.idb(pred), &t_new.idb(pred));
+      if (!reliance_.group_recursive[g]) continue;  // nothing can retrigger
+
+      // Local differential rounds over the group.
+      bool drained = false;
+      while (steps < max_steps) {
+        SweepCaches();
+        triggered.clear();
+        for (int r : rules) {
+          bool fire = false;
+          for (int pred : reliance_.rule_body_idb[r]) {
+            if (delta.HasSupport(pred) &&
+                std::binary_search(heads.begin(), heads.end(), pred)) {
+              fire = true;
+              break;
+            }
+          }
+          if (fire) {
+            triggered.push_back(r);
+          } else {
+            ++rules_skipped_;
+          }
+        }
+        if (triggered.empty()) {  // live deltas feed no rule of this group
+          drained = true;
+          break;
+        }
+        ++steps;
+        ++group_iterations_;
+        candidate.ClearPreds(heads);
+        if (pool_) {
+          BuildGroupUnits(triggered, t_new, delta, t_old, &group_units_);
+          ApplyUnitsParallel(group_units_, &candidate, &work);
+        } else {
+          for (int r : triggered) {
+            const CompiledRule& cr = compiled_[r];
+            for (const CompiledDisjunct& cd : cr.disjuncts) {
+              // occurrences == 0: the disjunct reads nothing the group
+              // still moves — its one-shot contribution was the seed's.
+              const int occurrences =
+                  static_cast<int>(cd.group_atoms.size());
+              for (int ell = 0; ell < occurrences; ++ell) {
+                auto resolver = [&](int atom_index) -> const Relation<P>& {
+                  const int pred = cd.sp->atoms[atom_index].pred;
+                  const int occ = cd.group_occ_of_atom[atom_index];
+                  if (occ < 0 || occ < ell) return t_new.idb(pred);
+                  if (occ == ell) return delta.idb(pred);
+                  return t_old.idb(pred);
+                };
+                EvalDisjunct(cd, resolver,
+                             &candidate.idb(cr.rule->head.pred), &work);
+              }
+            }
+          }
+        }
+        // δ(t) = C ⊖ T(t) over the group's heads.
+        next_delta.ClearPreds(heads);
+        bool all_empty = true;
+        for (int pred : heads) {
+          if (DiffRows(candidate.idb(pred), t_new.idb(pred),
+                       &next_delta.idb(pred))) {
+            all_empty = false;
+          }
+        }
+        if (all_empty) {
+          drained = true;
+          break;
+        }
+        t_old.CopyPredsFrom(t_new, heads);
+        for (int pred : heads) {
+          MergeRows(next_delta.idb(pred), &t_new.idb(pred));
+        }
+        delta.TakePredsFrom(&next_delta, heads);
+        t_new.CompactPreds(heads);
+      }
+      if (!drained) return {std::move(t_new), max_steps, false, work};
+    }
+    return {std::move(t_new), steps, true, work};
+  }
+
+  /// δ = candidate ⊖ base for one predicate, appended into *out in
+  /// candidate's row order; returns true iff any nonzero difference was
+  /// stored. The shared ⊖ scan of both semi-naive variants — identical
+  /// code path keeps sweep and ordered value/order behaviour aligned.
+  bool DiffRows(const Relation<P>& candidate, const Relation<P>& base,
+                Relation<P>* out) const
+    requires CompleteDistributiveDioid<P>
+  {
+    bool any = false;
+    const uint32_t rows = candidate.num_rows();
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (!candidate.RowLive(r)) continue;
+      typename P::Value d =
+          P::Minus(candidate.ValueAt(r), base.Get(candidate.View(r)));
+      if (!P::Eq(d, P::Zero())) {
+        out->Set(candidate.View(r), d);
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  /// T ⊕= δ row-wise for one predicate, in δ's row order.
+  static void MergeRows(const Relation<P>& from, Relation<P>* into) {
+    const uint32_t rows = from.num_rows();
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (!from.RowLive(r)) continue;
+      into->Merge(from.View(r), from.ValueAt(r));
+    }
+  }
+
+  /// The ordered scheduler's differential units for one group round:
+  /// every (triggered rule, disjunct, group occurrence) in the exact
+  /// order of the sequential loop in SemiNaiveOrdered, resolving through
+  /// the persistent t_new/delta/t_old instances (stable Relation
+  /// objects, so cached delta indexes stay attached across rounds).
+  void BuildGroupUnits(const std::vector<int>& rule_ids,
+                       const IdbInstance<P>& t_new,
+                       const IdbInstance<P>& delta,
+                       const IdbInstance<P>& t_old,
+                       std::vector<EvalUnit>* units) const {
+    units->clear();
+    for (int r : rule_ids) {
+      const CompiledRule& cr = compiled_[r];
+      for (const CompiledDisjunct& cd : cr.disjuncts) {
+        const int occurrences = static_cast<int>(cd.group_atoms.size());
+        const CompiledDisjunct* cdp = &cd;
+        for (int ell = 0; ell < occurrences; ++ell) {
+          units->push_back(EvalUnit{
+              &cr, cdp,
+              [cdp, ell, &t_new, &delta,
+               &t_old](int atom_index) -> const Relation<P>& {
+                const int pred = cdp->sp->atoms[atom_index].pred;
+                const int occ = cdp->group_occ_of_atom[atom_index];
+                if (occ < 0 || occ < ell) return t_new.idb(pred);
+                if (occ == ell) return delta.idb(pred);
+                return t_old.idb(pred);
+              }});
+        }
+      }
+    }
   }
 
   /// The parallel ICO step. Three phases (see the class comment):
@@ -960,6 +1235,7 @@ class Engine {
   const Program* prog_;
   const EdbInstance<P>* edb_;
   EngineOptions options_;
+  RelianceGroups reliance_;  ///< computed before Compile() (group maps)
   std::vector<CompiledRule> compiled_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_threads <= 1
   // Mutable: evaluation entry points are const, but memoizing indexes,
@@ -978,6 +1254,9 @@ class Engine {
   mutable uint64_t uncached_builds_ = 0;
   mutable uint64_t idb_index_builds_ = 0;  ///< cache builds for IDB inputs
   mutable uint64_t idb_index_hits_ = 0;    ///< cache hits for IDB inputs
+  mutable std::vector<EvalUnit> group_units_;  ///< ordered-round unit buffer
+  mutable uint64_t group_iterations_ = 0;  ///< ordered: local rounds run
+  mutable uint64_t rules_skipped_ = 0;     ///< ordered: triggered-set skips
 };
 
 }  // namespace datalogo

@@ -1,68 +1,11 @@
 #include "src/datalog/stratify.h"
 
 #include <algorithm>
-#include <functional>
 
 #include "src/core/check.h"
+#include "src/core/scc.h"
 
 namespace datalogo {
-namespace {
-
-/// Iterative-friendly Tarjan SCC over a small adjacency list (the number
-/// of predicates is tiny relative to data, recursion depth is fine).
-class Tarjan {
- public:
-  explicit Tarjan(const std::vector<std::vector<int>>& adj)
-      : adj_(adj),
-        index_(adj.size(), -1),
-        low_(adj.size(), 0),
-        on_stack_(adj.size(), false),
-        comp_(adj.size(), -1) {}
-
-  void Run() {
-    for (std::size_t v = 0; v < adj_.size(); ++v) {
-      if (index_[v] < 0) Visit(static_cast<int>(v));
-    }
-  }
-
-  const std::vector<int>& components() const { return comp_; }
-  int num_components() const { return num_comps_; }
-
- private:
-  void Visit(int v) {
-    index_[v] = low_[v] = next_index_++;
-    stack_.push_back(v);
-    on_stack_[v] = true;
-    for (int w : adj_[v]) {
-      if (index_[w] < 0) {
-        Visit(w);
-        low_[v] = std::min(low_[v], low_[w]);
-      } else if (on_stack_[w]) {
-        low_[v] = std::min(low_[v], index_[w]);
-      }
-    }
-    if (low_[v] == index_[v]) {
-      int c = num_comps_++;
-      while (true) {
-        int w = stack_.back();
-        stack_.pop_back();
-        on_stack_[w] = false;
-        comp_[w] = c;
-        if (w == v) break;
-      }
-    }
-  }
-
-  const std::vector<std::vector<int>>& adj_;
-  std::vector<int> index_, low_;
-  std::vector<bool> on_stack_;
-  std::vector<int> comp_;
-  std::vector<int> stack_;
-  int next_index_ = 0;
-  int num_comps_ = 0;
-};
-
-}  // namespace
 
 Stratification StratifyProgram(const Program& prog) {
   const int np = prog.num_predicates();

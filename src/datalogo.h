@@ -19,6 +19,7 @@
 #include "src/datalog/instance.h"
 #include "src/datalog/loader.h"
 #include "src/datalog/parser.h"
+#include "src/datalog/reliance.h"
 #include "src/datalog/stratified.h"
 #include "src/datalog/stratify.h"
 #include "src/datalog/validate.h"

@@ -1,0 +1,308 @@
+// Tests for EngineOptions::scheduler — the triggered-rule ordered
+// scheduler (reliance-graph SCC condensation with per-group local
+// fixpoints) against the default global sweep:
+//   * single-group programs (every golden recursion) replay the sweep
+//     trace bit for bit: fixpoints, steps, `work`, and all four index
+//     counters, pinned against the seed work goldens;
+//   * multi-group programs reach identical fixpoints with no more join
+//     work, across {B, Trop, PosBool} x {naive, semi-naive} x threads
+//     {1, 4} (steps and counters legitimately differ there: ordered
+//     spends a seed round per group and skips drained rules);
+//   * ordered's own counters are thread-count invariant;
+//   * triggered sets actually drain: alternating deltas in a mutual
+//     recursion produce a nonzero rules_skipped().
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/datalogo.h"
+#include "src/semiring/provenance.h"
+
+namespace datalogo {
+namespace {
+
+constexpr const char* kLinearTc = R"(
+  edb E/2.
+  idb T/2.
+  T(X,Y) :- E(X,Y) ; T(X,Z) * E(Z,Y).
+)";
+
+constexpr const char* kQuadraticTc = R"(
+  edb E/2.
+  idb T/2.
+  T(X,Y) :- E(X,Y) ; T(X,Z) * T(Z,Y).
+)";
+
+constexpr const char* kSssp = R"(
+  edb E/2.
+  idb L/1.
+  L(X) :- [X = v0] ; L(Z) * E(Z, X).
+)";
+
+// Base group + mutually recursive Odd/Even group + downstream recursive
+// closure group — the scheduler's multi-group exercise program (also the
+// bench_seminaive scheduler workload and examples/data/parity_paths.dl).
+constexpr const char* kParityPaths = R"(
+  edb E/2.
+  idb Odd/2. idb Even/2. idb T/2.
+  Odd(X,Y) :- E(X,Y).
+  Odd(X,Y) :- Even(X,Z) * E(Z,Y).
+  Even(X,Y) :- Odd(X,Z) * E(Z,Y).
+  T(X,Y) :- Even(X,Y) ; Odd(X,Y) ; T(X,Z) * T(Z,Y).
+)";
+
+Graph ChainGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, 1.0);
+  return g;
+}
+
+template <Pops P>
+struct SchedRun {
+  EvalResult<P> result;
+  uint64_t index_builds, index_hits, idb_index_builds, idb_index_hits;
+  uint64_t group_iterations, rules_skipped;
+  int groups;
+};
+
+template <Pops P>
+  requires CompleteDistributiveDioid<P> && NaturallyOrderedSemiring<P>
+SchedRun<P> RunOnce(const Program& prog, const EdbInstance<P>& edb,
+               Scheduler sched, bool semi, int threads) {
+  Engine<P> engine(prog, edb,
+                   EngineOptions{.num_threads = threads, .scheduler = sched});
+  SchedRun<P> out{semi ? engine.SemiNaive(1 << 20) : engine.Naive(1 << 20),
+             engine.index_builds(),
+             engine.index_hits(),
+             engine.idb_index_builds(),
+             engine.idb_index_hits(),
+             engine.group_iterations(),
+             engine.rules_skipped(),
+             engine.reliance().num_groups()};
+  EXPECT_TRUE(out.result.converged);
+  return out;
+}
+
+/// Single-group programs: ordered must replay the sweep trace exactly —
+/// fixpoint, steps, work (pinned to the seed golden) and index counters,
+/// sequentially and at 4 threads.
+template <Pops P>
+  requires CompleteDistributiveDioid<P> && NaturallyOrderedSemiring<P>
+void ExpectBitIdentical(const char* text, const Graph& g, auto&& lift,
+                        uint64_t golden_semi_work) {
+  Domain dom;
+  auto prog = ParseProgram(text, &dom).value();
+  std::vector<ConstId> ids = InternVertices(g.num_vertices(), &dom);
+  EdbInstance<P> edb(prog);
+  LoadEdges<P>(g, ids, lift, &edb.pops(prog.FindPredicate("E")));
+  for (bool semi : {false, true}) {
+    for (int threads : {1, 4}) {
+      SchedRun<P> sweep = RunOnce<P>(prog, edb, Scheduler::kSweep, semi, threads);
+      SchedRun<P> ordered =
+          RunOnce<P>(prog, edb, Scheduler::kOrdered, semi, threads);
+      EXPECT_TRUE(sweep.result.idb.Equals(ordered.result.idb));
+      EXPECT_EQ(sweep.result.steps, ordered.result.steps);
+      EXPECT_EQ(sweep.result.work, ordered.result.work);
+      EXPECT_EQ(sweep.index_builds, ordered.index_builds);
+      EXPECT_EQ(sweep.index_hits, ordered.index_hits);
+      EXPECT_EQ(sweep.idb_index_builds, ordered.idb_index_builds);
+      EXPECT_EQ(sweep.idb_index_hits, ordered.idb_index_hits);
+      if (semi) EXPECT_EQ(ordered.result.work, golden_semi_work);
+    }
+  }
+}
+
+TEST(EngineScheduler, BitIdenticalOnBooleanLinearTcChain80) {
+  ExpectBitIdentical<BoolS>(kLinearTc, ChainGraph(80),
+                            [](const Edge&) { return true; },
+                            /*golden_semi_work=*/6320);
+}
+
+TEST(EngineScheduler, BitIdenticalOnBooleanQuadraticTcChain80) {
+  ExpectBitIdentical<BoolS>(kQuadraticTc, ChainGraph(80),
+                            [](const Edge&) { return true; },
+                            /*golden_semi_work=*/95925);
+}
+
+TEST(EngineScheduler, BitIdenticalOnTropicalSsspChain80) {
+  ExpectBitIdentical<TropS>(kSssp, ChainGraph(80),
+                            [](const Edge& e) { return e.weight; },
+                            /*golden_semi_work=*/159);
+}
+
+TEST(EngineScheduler, BitIdenticalOnTropicalApspGrid8x8) {
+  ExpectBitIdentical<TropS>(kLinearTc, GridGraph(8, 8),
+                            [](const Edge& e) { return e.weight; },
+                            /*golden_semi_work=*/3248);
+}
+
+/// Multi-group programs: identical fixpoints across semirings, modes and
+/// thread counts; ordered never does more join work than the sweep.
+template <Pops P>
+  requires CompleteDistributiveDioid<P> && NaturallyOrderedSemiring<P>
+void ExpectEquivalentFixpoints(const char* text, const Graph& g,
+                               auto&& lift) {
+  Domain dom;
+  auto prog = ParseProgram(text, &dom).value();
+  std::vector<ConstId> ids = InternVertices(g.num_vertices(), &dom);
+  EdbInstance<P> edb(prog);
+  LoadEdges<P>(g, ids, lift, &edb.pops(prog.FindPredicate("E")));
+  for (bool semi : {false, true}) {
+    for (int threads : {1, 4}) {
+      SchedRun<P> sweep = RunOnce<P>(prog, edb, Scheduler::kSweep, semi, threads);
+      SchedRun<P> ordered =
+          RunOnce<P>(prog, edb, Scheduler::kOrdered, semi, threads);
+      EXPECT_TRUE(sweep.result.idb.Equals(ordered.result.idb))
+          << "semi=" << semi << " threads=" << threads;
+      EXPECT_LE(ordered.result.work, sweep.result.work);
+    }
+  }
+}
+
+TEST(EngineScheduler, ParityPathsMatchOnBoolean) {
+  ExpectEquivalentFixpoints<BoolS>(kParityPaths, RandomGraph(40, 120, 7),
+                                   [](const Edge&) { return true; });
+}
+
+TEST(EngineScheduler, ParityPathsMatchOnTropical) {
+  ExpectEquivalentFixpoints<TropS>(kParityPaths, RandomGraph(40, 120, 7),
+                                   [](const Edge& e) { return e.weight; });
+}
+
+TEST(EngineScheduler, PosBoolProvenanceMatchesAcrossSchedulers) {
+  // PosBool[X] provenance on a labeled chain, run through the multi-head
+  // base/step split (two groups sharing the head predicate T).
+  constexpr const char* kSplitTc = R"(
+    edb E/2.
+    idb T/2.
+    T(X,Y) :- E(X,Y).
+    T(X,Y) :- T(X,Z) * E(Z,Y).
+  )";
+  Domain dom;
+  auto prog = ParseProgram(kSplitTc, &dom).value();
+  const int n = 6;
+  Graph g = ChainGraph(n);
+  std::vector<ConstId> ids = InternVertices(n, &dom);
+  EdbInstance<PosBoolS> edb(prog);
+  {
+    int i = 0;
+    for (const Edge& e : g.edges()) {
+      edb.pops(prog.FindPredicate("E"))
+          .Merge({ids[e.src], ids[e.dst]},
+                 PosBoolS::Var("x" + std::to_string(i++)));
+    }
+  }
+  for (bool semi : {false, true}) {
+    for (int threads : {1, 4}) {
+      SchedRun<PosBoolS> sweep =
+          RunOnce<PosBoolS>(prog, edb, Scheduler::kSweep, semi, threads);
+      SchedRun<PosBoolS> ordered =
+          RunOnce<PosBoolS>(prog, edb, Scheduler::kOrdered, semi, threads);
+      EXPECT_TRUE(sweep.result.idb.Equals(ordered.result.idb));
+      PosBoolS::Clause all;
+      for (int i = 0; i < n - 1; ++i) all.insert("x" + std::to_string(i));
+      EXPECT_EQ(ordered.result.idb.idb(prog.FindPredicate("T"))
+                    .Get({ids[0], ids[n - 1]}),
+                PosBoolS::Value{all});
+    }
+  }
+}
+
+TEST(EngineScheduler, OrderedCountersAreThreadCountInvariant) {
+  Domain dom;
+  auto prog = ParseProgram(kParityPaths, &dom).value();
+  Graph g = RandomGraph(40, 120, 7);
+  std::vector<ConstId> ids = InternVertices(40, &dom);
+  EdbInstance<TropS> edb(prog);
+  LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                   &edb.pops(prog.FindPredicate("E")));
+  SchedRun<TropS> t1 = RunOnce<TropS>(prog, edb, Scheduler::kOrdered,
+                                 /*semi=*/true, /*threads=*/1);
+  SchedRun<TropS> t4 = RunOnce<TropS>(prog, edb, Scheduler::kOrdered,
+                                 /*semi=*/true, /*threads=*/4);
+  EXPECT_TRUE(t1.result.idb.Equals(t4.result.idb));
+  EXPECT_EQ(t1.result.steps, t4.result.steps);
+  EXPECT_EQ(t1.result.work, t4.result.work);
+  EXPECT_EQ(t1.index_builds, t4.index_builds);
+  EXPECT_EQ(t1.index_hits, t4.index_hits);
+  EXPECT_EQ(t1.idb_index_builds, t4.idb_index_builds);
+  EXPECT_EQ(t1.idb_index_hits, t4.idb_index_hits);
+  EXPECT_EQ(t1.group_iterations, t4.group_iterations);
+  EXPECT_EQ(t1.rules_skipped, t4.rules_skipped);
+}
+
+TEST(EngineScheduler, TriggeredSetSkipsDrainedRules) {
+  // The Odd/Even deltas drain in alternation (one parity moves per local
+  // round), so every round skips one of the two step rules.
+  Domain dom;
+  auto prog = ParseProgram(kParityPaths, &dom).value();
+  Graph g = ChainGraph(16);
+  std::vector<ConstId> ids = InternVertices(16, &dom);
+  EdbInstance<TropS> edb(prog);
+  LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                   &edb.pops(prog.FindPredicate("E")));
+  SchedRun<TropS> ordered = RunOnce<TropS>(prog, edb, Scheduler::kOrdered,
+                                      /*semi=*/true, /*threads=*/1);
+  SchedRun<TropS> sweep = RunOnce<TropS>(prog, edb, Scheduler::kSweep,
+                                    /*semi=*/true, /*threads=*/1);
+  EXPECT_TRUE(ordered.result.idb.Equals(sweep.result.idb));
+  // Groups: {Odd base}, {Odd step, Even step}, {T closure}.
+  EXPECT_EQ(ordered.groups, 3);
+  EXPECT_GT(ordered.rules_skipped, 0u);
+  EXPECT_GT(ordered.group_iterations, 0u);
+  EXPECT_LT(ordered.result.work, sweep.result.work);
+  // The sweep scheduler never skips and never counts local rounds.
+  EXPECT_EQ(sweep.rules_skipped, 0u);
+  EXPECT_EQ(sweep.group_iterations, 0u);
+}
+
+TEST(EngineScheduler, TriggeredSetDrainsThroughDeltas) {
+  // Mutual recursion with an asymmetric step relation: Q's deltas die out
+  // long before P's, so the triggered set must shrink (skips accumulate)
+  // while the fixpoint still matches the sweep exactly.
+  constexpr const char* kAsymmetric = R"(
+    edb E/2. edb F/2.
+    idb P/2. idb Q/2.
+    P(X,Y) :- E(X,Y).
+    P(X,Y) :- Q(X,Z) * E(Z,Y).
+    Q(X,Y) :- P(X,Z) * F(Z,Y).
+  )";
+  Domain dom;
+  auto prog = ParseProgram(kAsymmetric, &dom).value();
+  EdbInstance<TropS> edb(prog);
+  std::vector<ConstId> ids = InternVertices(12, &dom);
+  auto& e_rel = edb.pops(prog.FindPredicate("E"));
+  for (int i = 0; i + 1 < 12; ++i) e_rel.Set({ids[i], ids[i + 1]}, 1.0);
+  edb.pops(prog.FindPredicate("F")).Set({ids[3], ids[4]}, 0.5);
+  SchedRun<TropS> ordered = RunOnce<TropS>(prog, edb, Scheduler::kOrdered,
+                                      /*semi=*/true, /*threads=*/1);
+  SchedRun<TropS> sweep = RunOnce<TropS>(prog, edb, Scheduler::kSweep,
+                                    /*semi=*/true, /*threads=*/1);
+  EXPECT_TRUE(ordered.result.idb.Equals(sweep.result.idb));
+  EXPECT_EQ(ordered.groups, 2);
+  EXPECT_GT(ordered.rules_skipped, 0u);
+  EXPECT_LE(ordered.result.work, sweep.result.work);
+}
+
+TEST(EngineScheduler, BudgetIsATotalAcrossGroups) {
+  // With a max_steps budget too small to finish, ordered must report
+  // non-convergence with steps == max_steps, exactly like the sweep.
+  Domain dom;
+  auto prog = ParseProgram(kParityPaths, &dom).value();
+  Graph g = ChainGraph(32);
+  std::vector<ConstId> ids = InternVertices(32, &dom);
+  EdbInstance<TropS> edb(prog);
+  LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                   &edb.pops(prog.FindPredicate("E")));
+  for (bool semi : {false, true}) {
+    Engine<TropS> engine(prog, edb,
+                         EngineOptions{.scheduler = Scheduler::kOrdered});
+    EvalResult<TropS> r = semi ? engine.SemiNaive(3) : engine.Naive(3);
+    EXPECT_FALSE(r.converged) << "semi=" << semi;
+    EXPECT_EQ(r.steps, 3);
+  }
+}
+
+}  // namespace
+}  // namespace datalogo
