@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "src/datalogo.h"
 
@@ -74,6 +75,10 @@ class BenchJson {
   }
   BenchJson& MetaBool(const char* key, bool value) {
     meta_ << ",\n  \"" << key << "\": " << (value ? "true" : "false");
+    return *this;
+  }
+  BenchJson& MetaInt(const char* key, uint64_t value) {
+    meta_ << ",\n  \"" << key << "\": " << value;
     return *this;
   }
 
@@ -150,6 +155,30 @@ class BenchJson {
   bool first_field_ = true;
 };
 
+/// Journal spellings of the engine's index-tier / scan-kernel knobs.
+inline const char* IndexKindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kHash:
+      return "hash";
+    case IndexKind::kDirect:
+      return "direct";
+    case IndexKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+inline const char* ScanKernelName(ScanKernel k) {
+  return k == ScanKernel::kScalar ? "scalar" : "simd";
+}
+
+/// Host metadata for every BENCH_*.json: hardware concurrency (the PR-5
+/// single-core-host caveat, machine-readable) and the SIMD instruction
+/// set the binary's kSimd scan paths compile to.
+inline void AddHostMeta(BenchJson* json) {
+  json->MetaInt("nproc", std::thread::hardware_concurrency());
+  json->Meta("simd_isa", simd::IsaName());
+}
+
 /// Shared emitter for the BENCH_<name>.json perf journals: for each n,
 /// each engine, and each thread count in BenchThreadCounts() (the
 /// DATALOGO_THREADS knob), times `reps` evaluations — a fresh Engine per
@@ -171,6 +200,7 @@ void WriteEngineJson(const std::string& bench_name,
   BenchJson json(bench_name);
   json.MetaBool("smoke", smoke);
   json.Meta("workload", workload_desc);
+  AddHostMeta(&json);
   for (int n : sizes) {
     Domain dom;
     Program prog = make_program(&dom).value();
@@ -186,10 +216,11 @@ void WriteEngineJson(const std::string& bench_name,
           EvalResult<P> best{IdbInstance<P>(prog)};
           uint64_t builds = 0, hits = 0, idb_builds = 0, idb_hits = 0;
           uint64_t groups = 0, group_iters = 0, skipped = 0;
+          uint64_t incr_appends = 0, hash_probes = 0, direct_probes = 0;
+          const EngineOptions opts{.num_threads = threads,
+                                   .scheduler = sched};
           for (int rep = 0; rep < reps; ++rep) {
-            Engine<P> engine(prog, edb,
-                             EngineOptions{.num_threads = threads,
-                                           .scheduler = sched});
+            Engine<P> engine(prog, edb, opts);
             EvalResult<P> r{IdbInstance<P>(prog)};
             double ms = WallMs([&] {
               if constexpr (CompleteDistributiveDioid<P>) {
@@ -208,6 +239,9 @@ void WriteEngineJson(const std::string& bench_name,
               groups = static_cast<uint64_t>(engine.reliance().num_groups());
               group_iters = engine.group_iterations();
               skipped = engine.rules_skipped();
+              incr_appends = engine.idx_incremental_appends();
+              hash_probes = engine.hash_probes();
+              direct_probes = engine.direct_probes();
             }
           }
           json.BeginRow()
@@ -226,6 +260,11 @@ void WriteEngineJson(const std::string& bench_name,
               .Int("groups", groups)
               .Int("group_iterations", group_iters)
               .Int("rules_skipped", skipped)
+              .Str("index_kind", IndexKindName(opts.index_kind))
+              .Str("scan_kernel", ScanKernelName(opts.scan_kernel))
+              .Int("idx_incremental_appends", incr_appends)
+              .Int("hash_probes", hash_probes)
+              .Int("direct_probes", direct_probes)
               .EndRow();
         }
       }

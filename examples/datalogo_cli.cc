@@ -3,6 +3,7 @@
 //   datalogo_cli PROGRAM.dl --semiring=trop
 //       --edb E=edges.tsv --bedb G=flags.tsv [--seminaive] [--advise]
 //       [--threads=N] [--scheduler=sweep|ordered]
+//       [--index=hash|direct|auto] [--scan=scalar|simd]
 //
 // Semirings: bool, nat, trop, tropnat, fuzzy, viterbi.
 // POPS EDB TSVs carry the value in the last column; Boolean EDB TSVs are
@@ -33,6 +34,11 @@ struct CliOptions {
   // with triggered rules. Same fixpoint either way; the stability index
   // comment line can differ on multi-group programs.
   Scheduler scheduler = Scheduler::kSweep;
+  // Index tier and scan kernel (engine.h / simd.h). Output is identical
+  // for every combination — these exist for benchmarking and the
+  // byte-identity smoke test.
+  IndexKind index_kind = IndexKind::kAuto;
+  ScanKernel scan_kernel = DefaultScanKernel();
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -80,6 +86,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
         opt->scheduler = Scheduler::kOrdered;
       } else {
         std::fprintf(stderr, "unknown scheduler: %s\n", name.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--index=", 0) == 0) {
+      std::string name = value_of("--index=");
+      if (name == "hash") {
+        opt->index_kind = IndexKind::kHash;
+      } else if (name == "direct") {
+        opt->index_kind = IndexKind::kDirect;
+      } else if (name == "auto") {
+        opt->index_kind = IndexKind::kAuto;
+      } else {
+        std::fprintf(stderr, "unknown index kind: %s\n", name.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--scan=", 0) == 0) {
+      std::string name = value_of("--scan=");
+      if (name == "scalar") {
+        opt->scan_kernel = ScanKernel::kScalar;
+      } else if (name == "simd") {
+        opt->scan_kernel = ScanKernel::kSimd;
+      } else {
+        std::fprintf(stderr, "unknown scan kernel: %s\n", name.c_str());
         return false;
       }
     } else if (arg.rfind("--", 0) != 0) {
@@ -154,7 +182,9 @@ int RunAs(const CliOptions& opt, const std::string& text,
 
   Engine<P> engine(prog.value(), edb,
                    EngineOptions{.num_threads = opt.threads,
-                                 .scheduler = opt.scheduler});
+                                 .scheduler = opt.scheduler,
+                                 .index_kind = opt.index_kind,
+                                 .scan_kernel = opt.scan_kernel});
   EvalResult<P> result = [&] {
     if constexpr (CompleteDistributiveDioid<P>) {
       if (opt.seminaive) return engine.SemiNaive(opt.max_steps);
@@ -186,7 +216,8 @@ int main(int argc, char** argv) {
                  "usage: datalogo_cli PROGRAM.dl [--semiring=NAME] "
                  "[--edb P=FILE]... [--bedb P=FILE]... [--seminaive] "
                  "[--advise] [--max-steps=N] [--threads=N] "
-                 "[--scheduler=sweep|ordered]\n"
+                 "[--scheduler=sweep|ordered] [--index=hash|direct|auto] "
+                 "[--scan=scalar|simd]\n"
                  "semirings: bool nat trop tropnat fuzzy viterbi\n");
     return 1;
   }

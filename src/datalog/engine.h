@@ -80,6 +80,17 @@ struct EngineOptions {
   /// the same prepare/execute/reduce phases, so its results and counters
   /// are identical at every thread count too.
   Scheduler scheduler = Scheduler::kSweep;
+  /// Index-tier policy (relation.h): kAuto picks a direct (offset-
+  /// addressed) index per (relation, key-spec) when the key column is a
+  /// dense ConstId range, else hash; kHash/kDirect force one tier.
+  /// Fixpoints, `work` and all four index counters are bit-identical
+  /// across tiers — only probe cost and the new probe counters move.
+  IndexKind index_kind = IndexKind::kAuto;
+  /// Column-scan kernel for index builds (simd.h). kScalar is the
+  /// definitional reference; kSimd uses the compiled ISA (SSE2/AVX2/
+  /// NEON) with scalar tails. Outputs are bit-identical by construction.
+  /// Default honors the DATALOGO_SCAN environment variable.
+  ScanKernel scan_kernel = DefaultScanKernel();
 };
 
 /// Relational evaluation of a datalog° program over a naturally ordered
@@ -118,6 +129,9 @@ class Engine {
   Engine(const Program& prog, const EdbInstance<P>& edb,
          EngineOptions options = {})
       : prog_(&prog), edb_(&edb), options_(options) {
+    const IndexConfig idx_cfg{options_.index_kind, options_.scan_kernel};
+    pops_cache_.set_config(idx_cfg);
+    bool_cache_.set_config(idx_cfg);
     reliance_ = BuildRelianceGroups(prog);
     Compile();
     int threads = options_.num_threads;
@@ -144,6 +158,28 @@ class Engine {
   /// well the per-iteration delta indexes amortize.
   uint64_t idb_index_builds() const { return idb_index_builds_; }
   uint64_t idb_index_hits() const { return idb_index_hits_; }
+
+  /// Join-kernel lookups served by hash-map indexes (key-Tuple hash +
+  /// probe each) vs direct offset-addressed indexes (one bounds-checked
+  /// array access each). Tier selection shifts traffic between the two —
+  /// the bench evidence that kDirect/kAuto removes hashing from the hot
+  /// path. Deterministic across thread counts (shard counts reduce in
+  /// fixed order), but NOT pinned across index kinds by design.
+  uint64_t hash_probes() const { return hash_probes_; }
+  uint64_t direct_probes() const { return direct_probes_; }
+  /// Rows appended to cached indexes by incremental refreshes instead of
+  /// full rebuilds (relation.h IndexCache) — nonzero on every delta-driven
+  /// run; each appended row replaces a whole-relation re-scan.
+  uint64_t idx_incremental_appends() const {
+    return pops_cache_.incremental_appends() +
+           bool_cache_.incremental_appends();
+  }
+  /// Rows scanned building/refreshing EDB indexes. EDB relations never
+  /// mutate during a run, so after the first build per (relation, key)
+  /// this must not move — the regression surface for cache-hit paths
+  /// that silently re-scan full columns (asserted in
+  /// engine_scheduler_test).
+  uint64_t edb_index_scan_rows() const { return edb_index_scan_rows_; }
 
   /// The condensed rule-reliance structure the ordered scheduler executes
   /// (computed for every engine; kSweep simply ignores it).
@@ -263,13 +299,15 @@ class Engine {
     if (empty) return {std::move(t_new), 1, true, work};
     t_new.CopyContentsFrom(delta);
 
-    // Scratch instances persist across iterations (Clear + refill), and
-    // next_delta's contents move into `delta`'s stable Relation objects,
-    // so the cache entries for delta indexes stay keyed to live uids —
-    // one rebuild per iteration (the content changed) instead of a fresh
-    // orphaned entry per iteration.
+    // Scratch instances persist across iterations (Clear + refill).
+    // δ(t) is diffed DIRECTLY into `delta` (safe: the candidate is fully
+    // computed before the old deltas are cleared, and DiffRows reads only
+    // candidate and t_new), so each round's delta mutation is a Clear
+    // plus fresh Sets — the soft pattern the index cache refreshes
+    // incrementally (reset-and-reappend) instead of rebuilding, and one
+    // full content move per round cheaper than staging through a
+    // next_delta instance.
     IdbInstance<P> candidate(*prog_);
-    IdbInstance<P> next_delta(*prog_);
     // Units enumerate (rule, disjunct, occurrence) in the exact order of
     // the sequential loop below; ApplyUnitsParallel prepares and reduces
     // in that order, so counters and fixpoints agree. Loop-invariant:
@@ -324,12 +362,12 @@ class Engine {
           }
         }
       }
-      // δ(t) = C ⊖ T(t), per row of C's support.
-      next_delta.ClearAll();
+      // δ(t) = C ⊖ T(t), per row of C's support — into `delta` itself.
+      delta.ClearAll();
       bool all_empty = true;
       for (int pred : prog_->IdbPredicates()) {
         if (DiffRows(candidate.idb(pred), t_new.idb(pred),
-                     &next_delta.idb(pred))) {
+                     &delta.idb(pred))) {
           all_empty = false;
         }
       }
@@ -339,9 +377,8 @@ class Engine {
       // T(t+1) = T(t) ⊕ δ(t).
       t_old.CopyContentsFrom(t_new);
       for (int pred : prog_->IdbPredicates()) {
-        MergeRows(next_delta.idb(pred), &t_new.idb(pred));
+        MergeRows(delta.idb(pred), &t_new.idb(pred));
       }
-      delta.TakeContentsFrom(&next_delta);
       t_new.CompactAll();  // tombstone hygiene between fixpoint iterations
     }
     return {std::move(t_new), max_steps, false, work};
@@ -429,6 +466,10 @@ class Engine {
     std::vector<const RelationIndex<BoolS>*> bool_idx;
     std::vector<const Relation<P>*> pops_rel;    ///< row-id decode target
     std::vector<const Relation<BoolS>*> bool_rel;
+    /// Per-level representation of the serving index, so the execute
+    /// phase can classify each Lookup into hash_probes/direct_probes
+    /// without re-virtual-dispatching on the index.
+    std::vector<IndexRepr> repr;
     /// The driver: level 0's matched entry list (its key depends only on
     /// prebindings, so it is known before execution and is what shards
     /// partition). Null iff the disjunct has no generators.
@@ -456,6 +497,8 @@ class Engine {
     Scratch scratch;
     Relation<P> partial;
     uint64_t work = 0;
+    uint64_t hash_probes = 0;    ///< task-private, reduced in shard order
+    uint64_t direct_probes = 0;
     const CompiledDisjunct* sized_for = nullptr;  ///< scratch shape guard
   };
 
@@ -712,9 +755,13 @@ class Engine {
     int steps = 0;
     IdbInstance<P> t_old(*prog_);  // T before the last local merge
     IdbInstance<P> t_new(*prog_);  // the accumulated T across groups
-    IdbInstance<P> delta(*prog_);  // live deltas of the running group
+    // Live deltas of the running group. Like the sweep scheduler, every
+    // δ — the seed's and each local round's — is diffed directly into
+    // `delta` (ClearPreds + DiffRows), keeping the delta relations on the
+    // Clear-plus-append mutation pattern the index cache refreshes
+    // incrementally.
+    IdbInstance<P> delta(*prog_);
     IdbInstance<P> candidate(*prog_);
-    IdbInstance<P> next_delta(*prog_);
     std::vector<int> triggered;
 
     for (int g = 0; g < reliance_.num_groups(); ++g) {
@@ -799,12 +846,12 @@ class Engine {
             }
           }
         }
-        // δ(t) = C ⊖ T(t) over the group's heads.
-        next_delta.ClearPreds(heads);
+        // δ(t) = C ⊖ T(t) over the group's heads — into `delta` itself.
+        delta.ClearPreds(heads);
         bool all_empty = true;
         for (int pred : heads) {
           if (DiffRows(candidate.idb(pred), t_new.idb(pred),
-                       &next_delta.idb(pred))) {
+                       &delta.idb(pred))) {
             all_empty = false;
           }
         }
@@ -814,9 +861,8 @@ class Engine {
         }
         t_old.CopyPredsFrom(t_new, heads);
         for (int pred : heads) {
-          MergeRows(next_delta.idb(pred), &t_new.idb(pred));
+          MergeRows(delta.idb(pred), &t_new.idb(pred));
         }
-        delta.TakePredsFrom(&next_delta, heads);
         t_new.CompactPreds(heads);
       }
       if (!drained) return {std::move(t_new), max_steps, false, work};
@@ -940,19 +986,24 @@ class Engine {
         st.partial.Clear();
       }
       st.work = 0;
+      st.hash_probes = 0;
+      st.direct_probes = 0;
     }
     pool_->ParallelFor(tasks.size(), [&](std::size_t t) {
       const TaskRef& tr = tasks[t];
       const EvalUnit& un = units[static_cast<std::size_t>(tr.unit)];
       TaskState& st = par_states_[t];
       ExecuteShard(*un.cd, par_prepared_[static_cast<std::size_t>(tr.unit)],
-                   st.scratch, tr.begin, tr.end, &st.partial, &st.work);
+                   st.scratch, tr.begin, tr.end, &st.partial, &st.work,
+                   &st.hash_probes, &st.direct_probes);
     });
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const EvalUnit& un = units[static_cast<std::size_t>(tasks[t].unit)];
       out->idb(un.cr->rule->head.pred)
           .MergeFrom(std::move(par_states_[t].partial));
       *work += par_states_[t].work;
+      hash_probes_ += par_states_[t].hash_probes;
+      direct_probes_ += par_states_[t].direct_probes;
     }
   }
 
@@ -1057,7 +1108,8 @@ class Engine {
     PreparedGens& prep = prepared_[static_cast<std::size_t>(cd.scratch_id)];
     PrepareGens(cd, resolver, &prep);
     ExecuteShard(cd, prep, scratch_[static_cast<std::size_t>(cd.scratch_id)],
-                 0, static_cast<std::size_t>(-1), out, work);
+                 0, static_cast<std::size_t>(-1), out, work, &hash_probes_,
+                 &direct_probes_);
   }
 
   /// Prepare phase of one disjunct evaluation: resolves every generator's
@@ -1070,10 +1122,12 @@ class Engine {
   void PrepareGens(const CompiledDisjunct& cd, Resolver&& resolver,
                    PreparedGens* prep) const {
     const std::size_t levels = cd.generators.size();
+    const IndexConfig idx_cfg{options_.index_kind, options_.scan_kernel};
     prep->pops_idx.assign(levels, nullptr);
     prep->bool_idx.assign(levels, nullptr);
     prep->pops_rel.assign(levels, nullptr);
     prep->bool_rel.assign(levels, nullptr);
+    prep->repr.assign(levels, IndexRepr::kHashMap);
     prep->level0 = nullptr;
     prep->local_pops.clear();
     prep->local_bool.clear();
@@ -1082,35 +1136,45 @@ class Engine {
       if (gen.is_bool) {
         const Relation<BoolS>& rel = edb_->boolean(gen.pred);
         if (options_.cache_indexes) {
-          prep->bool_idx[g] = &bool_cache_.Get(rel, gen.key_positions);
+          // Boolean condition atoms always read the EDB: pin the entry
+          // (never evicted, never re-scanned) and attribute its scan.
+          const uint64_t scans = bool_cache_.scan_rows();
+          prep->bool_idx[g] =
+              &bool_cache_.Get(rel, gen.key_positions, /*pin=*/true);
+          edb_index_scan_rows_ += bool_cache_.scan_rows() - scans;
         } else {
           ++uncached_builds_;
-          prep->local_bool.push_back(
-              std::make_unique<RelationIndex<BoolS>>(rel,
-                                                     gen.key_positions));
+          prep->local_bool.push_back(std::make_unique<RelationIndex<BoolS>>(
+              rel, gen.key_positions, idx_cfg));
           prep->bool_idx[g] = prep->local_bool.back().get();
         }
         prep->bool_rel[g] = &rel;
+        prep->repr[g] = prep->bool_idx[g]->repr();
       } else {
         const Relation<P>& rel =
             gen.is_idb ? resolver(gen.atom_index) : edb_->pops(gen.pred);
         if (options_.cache_indexes) {
           const uint64_t before = pops_cache_.builds();
-          prep->pops_idx[g] = &pops_cache_.Get(rel, gen.key_positions);
+          const uint64_t scans = pops_cache_.scan_rows();
+          prep->pops_idx[g] =
+              &pops_cache_.Get(rel, gen.key_positions, /*pin=*/!gen.is_idb);
           if (gen.is_idb) {
             if (pops_cache_.builds() != before) {
               ++idb_index_builds_;
             } else {
               ++idb_index_hits_;
             }
+          } else {
+            edb_index_scan_rows_ += pops_cache_.scan_rows() - scans;
           }
         } else {
           ++uncached_builds_;
-          prep->local_pops.push_back(
-              std::make_unique<RelationIndex<P>>(rel, gen.key_positions));
+          prep->local_pops.push_back(std::make_unique<RelationIndex<P>>(
+              rel, gen.key_positions, idx_cfg));
           prep->pops_idx[g] = prep->local_pops.back().get();
         }
         prep->pops_rel[g] = &rel;
+        prep->repr[g] = prep->pops_idx[g]->repr();
       }
     }
     if (levels == 0) return;
@@ -1132,8 +1196,21 @@ class Engine {
       DLO_CHECK(c != kUnbound);
       key[i] = c;
     }
+    CountProbe(prep->repr[0], &hash_probes_, &direct_probes_);
     prep->level0 = g0.is_bool ? &prep->bool_idx[0]->Lookup(key)
                               : &prep->pops_idx[0]->Lookup(key);
+  }
+
+  /// Classifies one index Lookup into the probe counters. The execute
+  /// phase passes task-private counters (reduced in fixed order); the
+  /// sequential prepare phase passes the engine members directly.
+  static void CountProbe(IndexRepr repr, uint64_t* hash_probes,
+                         uint64_t* direct_probes) {
+    if (repr == IndexRepr::kHashMap) {
+      ++*hash_probes;
+    } else if (repr == IndexRepr::kDirectArray) {
+      ++*direct_probes;
+    }  // kAllRows: no key is consulted at all.
   }
 
   /// Execute phase: joins driver entries [begin, end) of a prepared
@@ -1153,7 +1230,8 @@ class Engine {
   /// execute concurrently without synchronization.
   void ExecuteShard(const CompiledDisjunct& cd, const PreparedGens& prep,
                     Scratch& sc, std::size_t begin, std::size_t end,
-                    Relation<P>* out, uint64_t* work) const {
+                    Relation<P>* out, uint64_t* work, uint64_t* hash_probes,
+                    uint64_t* direct_probes) const {
     for (const auto& [v, c] : cd.prebindings) sc.binding[v] = c;
 
     const std::size_t levels = cd.generators.size();
@@ -1177,6 +1255,7 @@ class Engine {
         const ValueSource& s = gen.key_sources[i];
         key[i] = s.var >= 0 ? sc.binding[s.var] : s.constant;
       }
+      CountProbe(prep.repr[lvl], hash_probes, direct_probes);
       if (gen.is_bool) {
         sc.entries[lvl] = &prep.bool_idx[lvl]->Lookup(key);
       } else {
@@ -1254,6 +1333,9 @@ class Engine {
   mutable uint64_t uncached_builds_ = 0;
   mutable uint64_t idb_index_builds_ = 0;  ///< cache builds for IDB inputs
   mutable uint64_t idb_index_hits_ = 0;    ///< cache hits for IDB inputs
+  mutable uint64_t hash_probes_ = 0;    ///< hash-map index lookups
+  mutable uint64_t direct_probes_ = 0;  ///< direct-array index lookups
+  mutable uint64_t edb_index_scan_rows_ = 0;  ///< EDB build-scan rows
   mutable std::vector<EvalUnit> group_units_;  ///< ordered-round unit buffer
   mutable uint64_t group_iterations_ = 0;  ///< ordered: local rounds run
   mutable uint64_t rules_skipped_ = 0;     ///< ordered: triggered-set skips

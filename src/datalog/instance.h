@@ -125,6 +125,12 @@ class IdbInstance {
   /// Clears every IDB relation in place. Column and slot capacity — and
   /// the Relation uids the index cache is keyed by — are retained, so a
   /// Clear + refill cycle reuses storage instead of churning objects.
+  /// Clear is also a *soft* mutation in the relation's hard/clear-version
+  /// model: cached indexes of a cleared-then-refilled relation are
+  /// refreshed by reset-and-reappend (no per-row hash-map teardown, no
+  /// tier re-detection) rather than rebuilt — which is why the engine
+  /// routes every per-round delta through Clear + Set/Merge instead of
+  /// whole-object moves.
   void ClearAll() {
     for (int pred : prog_->IdbPredicates()) rels_[pred].Clear();
   }
@@ -162,7 +168,11 @@ class IdbInstance {
   }
 
   /// Element-wise move assignment with the same uid-stability guarantee;
-  /// `other`'s relations are left empty (and usable).
+  /// `other`'s relations are left empty (and usable). Note this is a
+  /// *hard* mutation on both sides (row ids mean something new), so any
+  /// cached index of either relation fully rebuilds on next use — prefer
+  /// Clear + refill (see ClearAll) for relations that are re-indexed
+  /// every round.
   void TakeContentsFrom(IdbInstance* other) {
     DLO_CHECK(rels_.size() == other->rels_.size());
     for (int pred : prog_->IdbPredicates()) {

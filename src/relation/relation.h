@@ -26,6 +26,7 @@
 
 #include "src/core/check.h"
 #include "src/core/hash.h"
+#include "src/core/simd.h"
 #include "src/relation/domain.h"
 #include "src/relation/tuple.h"
 #include "src/semiring/traits.h"
@@ -46,6 +47,19 @@ inline constexpr uint32_t kNoRow = 0xFFFFFFFFu;
 /// A list of row ids into one relation's columnar storage — the currency
 /// of RelationIndex lookups and the engine's join programs.
 using RowIdList = std::vector<uint32_t>;
+
+/// Index-tier selection policy (per (relation, key-spec); see
+/// RelationIndex). kAuto picks per key column: direct when the live key
+/// range is dense enough, hash otherwise. kDirect forces the direct tier
+/// whenever the key span fits the hard cap; kHash forces hashing
+/// everywhere — the pre-tier behaviour, kept as the reference.
+enum class IndexKind : uint8_t { kHash = 0, kDirect = 1, kAuto = 2 };
+
+/// Knobs threaded from EngineOptions into every index build.
+struct IndexConfig {
+  IndexKind kind = IndexKind::kAuto;
+  ScanKernel scan = DefaultScanKernel();
+};
 
 /// Non-owning view of one row's key columns in a columnar store. Usable
 /// as a probe/upsert key against any Relation (of any value space)
@@ -93,7 +107,7 @@ class Relation {
         slots_(std::move(other.slots_)),
         mask_(other.mask_) {
     other.ResetToEmpty();
-    ++other.version_;
+    other.BumpHard();
   }
   Relation& operator=(const Relation& other) {
     if (this != &other) {
@@ -104,7 +118,7 @@ class Relation {
       live_ = other.live_;
       slots_ = other.slots_;
       mask_ = other.mask_;
-      ++version_;
+      BumpHard();  // wholesale replacement: row ids mean something new
     }
     return *this;
   }
@@ -118,8 +132,8 @@ class Relation {
       slots_ = std::move(other.slots_);
       mask_ = other.mask_;
       other.ResetToEmpty();
-      ++other.version_;
-      ++version_;
+      other.BumpHard();
+      BumpHard();
     }
     return *this;
   }
@@ -139,6 +153,9 @@ class Relation {
   RowView View(uint32_t row) const { return RowView(&cols_, row); }
   /// One whole key column — the sequential-scan surface for index builds.
   const std::vector<ConstId>& column(int pos) const { return cols_[pos]; }
+  /// Raw live-flag bytes (parallel to the columns) — the SIMD-scan
+  /// surface for live-row compaction during index builds.
+  const uint8_t* live_data() const { return live_flags_.data(); }
   std::size_t tombstones() const { return values_.size() - live_; }
 
   /// Calls fn(row_id) for every live (support) row, in row order.
@@ -212,6 +229,7 @@ class Relation {
   /// refill cycle (persistent delta relations) does not reallocate.
   void Clear() {
     ++version_;
+    clear_version_ = version_;
     for (auto& col : cols_) col.clear();
     values_.clear();
     live_flags_.clear();
@@ -242,7 +260,7 @@ class Relation {
     values_.resize(w);
     live_flags_.assign(w, 1);
     live_ = w;
-    ++version_;
+    BumpHard();  // surviving rows were renumbered
     Rehash(SlotCountFor(w));
   }
 
@@ -250,6 +268,17 @@ class Relation {
   uint64_t uid() const { return uid_; }
   /// Bumped on every mutation; (uid, version) identifies one content state.
   uint64_t version() const { return version_; }
+  /// Version of the last *hard* discontinuity — any mutation after which
+  /// previously handed-out row ids are renumbered, reordered, or revived
+  /// (tombstone, revival, Compact, copy/move assignment). Everything in
+  /// between is appends of fresh live rows and value overwrites of live
+  /// rows, so an index built at version v with hard_version() <= v can be
+  /// refreshed by appending rows added since v instead of rebuilding.
+  uint64_t hard_version() const { return hard_version_; }
+  /// Version of the last Clear(). A Clear between an index's version and
+  /// now means "reset the entry lists, then re-append from row 0" — still
+  /// no re-hash of retained structure, and no allocation churn.
+  uint64_t clear_version() const { return clear_version_; }
 
   bool Equals(const Relation& other) const {
     if (arity_ != other.arity_ || live_ != other.live_) return false;
@@ -398,7 +427,7 @@ class Relation {
       if (r != kNoRow && live_flags_[r]) {
         live_flags_[r] = 0;
         --live_;
-        ++version_;
+        BumpHard();  // membership shrank: appended-row refresh can't see it
       }
       return;
     }
@@ -408,14 +437,18 @@ class Relation {
     if (r == kNoRow) {
       AppendRow(slot, key, std::move(v));
       ++live_;
-    } else {
+      ++version_;
+    } else if (!live_flags_[r]) {
+      // Revive the tombstoned row in place. Hard: the row id re-enters
+      // the support out of row order, which appending cannot express.
       values_[r].v = std::move(v);
-      if (!live_flags_[r]) {  // revive the tombstoned row in place
-        live_flags_[r] = 1;
-        ++live_;
-      }
+      live_flags_[r] = 1;
+      ++live_;
+      BumpHard();
+    } else {
+      values_[r].v = std::move(v);  // value-only overwrite: soft
+      ++version_;
     }
-    ++version_;
   }
 
   template <typename Key>
@@ -429,22 +462,32 @@ class Relation {
       if (P::Eq(nv, P::Bottom())) {
         live_flags_[r] = 0;
         --live_;
+        BumpHard();  // ⊕ annihilated the row: membership shrank
       } else {
         values_[r].v = std::move(nv);
+        ++version_;
       }
-      ++version_;
       return;
     }
     Value nv = P::Plus(P::Bottom(), v);
     if (P::Eq(nv, P::Bottom())) return;  // ⊥ ⊕ v = ⊥: nothing to store
     if (r != kNoRow) {
-      values_[r].v = std::move(nv);
+      values_[r].v = std::move(nv);  // revival: hard (see SetKey)
       live_flags_[r] = 1;
+      ++live_;
+      BumpHard();
     } else {
       AppendRow(slot, key, std::move(nv));
+      ++live_;
+      ++version_;
     }
-    ++live_;
+  }
+
+  /// Bumps the version and marks it a hard discontinuity (see
+  /// hard_version()): cached indexes must rebuild, not refresh.
+  void BumpHard() {
     ++version_;
+    hard_version_ = version_;
   }
 
   /// Leaves a moved-from object empty but structurally valid (arity and
@@ -475,35 +518,75 @@ class Relation {
   std::size_t mask_ = 0;
   uint64_t uid_ = NextRelationUid();
   uint64_t version_ = 0;
+  uint64_t hard_version_ = 0;   ///< version of the last hard discontinuity
+  uint64_t clear_version_ = 0;  ///< version of the last Clear()
 };
+
+/// How one RelationIndex actually serves lookups. Tier choice is a pure
+/// function of (key positions, IndexConfig, live key-column min/max and
+/// support size), so the same relation state always gets the same tier —
+/// a prerequisite for the engine's cross-configuration determinism pins.
+enum class IndexRepr : uint8_t {
+  kHashMap,      ///< Tuple-keyed unordered_map — the general tier
+  kDirectArray,  ///< single key column, dense ids: offset-indexed buckets
+  kAllRows,      ///< empty key: one list of all live rows
+};
+
+/// Span cap for the direct tier: above this, bucket storage (one vector
+/// header per id in [min, max]) stops being worth skipping the hash.
+/// Applies even under IndexKind::kDirect.
+inline constexpr uint64_t kDirectSpanCap = uint64_t{1} << 20;
+
+/// Direct-build strategy bound: tombstone-free columns whose span is at
+/// most this are built by one vectorized FilterEqRows pass per key
+/// instead of a scalar scatter. Kernel-independent on purpose, so both
+/// scan kernels build byte-identical structures by the same plan.
+inline constexpr uint64_t kFilterBuildSpanCap = 8;
 
 /// An index over a relation keyed by a subset of argument positions;
 /// built on demand by the engine (index nested-loop joins) and reused
 /// across joining steps through IndexCache below. Entries are row ids
-/// into the relation's columnar store, gathered by one sequential scan
-/// over the key columns (tombstoned rows are skipped).
+/// into the relation's columnar store, in ascending row order whatever
+/// the tier — Lookup results are bit-identical across representations.
+///
+/// Tiers: multi-column keys always hash. Single-column keys use the
+/// direct tier when the live ids are dense (kAuto: span <= 4*live + 256,
+/// always under kDirectSpanCap) — Lookup is then one subtraction and a
+/// bounds check, with no hashing and no key-Tuple walk. Empty keys (full
+/// scans) keep the single live-row list directly. IndexKind::kHash
+/// forces the general tier everywhere.
 template <Pops P>
 class RelationIndex {
  public:
   using EntryList = RowIdList;
 
   /// Builds an index of `rel` on the given positions.
-  RelationIndex(const Relation<P>& rel, std::vector<int> positions)
-      : rel_(&rel), positions_(std::move(positions)) {
-    Tuple key(positions_.size(), 0);
-    const uint32_t n = rel.num_rows();
-    for (uint32_t r = 0; r < n; ++r) {
-      if (!rel.RowLive(r)) continue;
-      for (std::size_t i = 0; i < positions_.size(); ++i) {
-        key[i] = rel.Cell(r, positions_[i]);
-      }
-      index_[key].push_back(r);
+  explicit RelationIndex(const Relation<P>& rel, std::vector<int> positions,
+                         IndexConfig cfg = {})
+      : rel_(&rel), positions_(std::move(positions)), cfg_(cfg) {
+    ChooseRepr();
+    if (repr_ == IndexRepr::kDirectArray) {
+      buckets_.assign(static_cast<std::size_t>(span_), EntryList{});
     }
+    bool ok = AppendRange(0, rel.num_rows());
+    DLO_CHECK(ok);  // a fresh build chose its range from the same data
   }
 
   /// All row ids whose projection matches `key`, in row order.
   const EntryList& Lookup(const Tuple& key) const {
     static const EntryList kEmpty;
+    switch (repr_) {
+      case IndexRepr::kAllRows:
+        return all_;
+      case IndexRepr::kDirectArray: {
+        // Unsigned wrap makes one compare cover both `key < base` and
+        // `key >= base + span`.
+        const uint32_t off = static_cast<uint32_t>(key[0]) - base_;
+        return off < buckets_.size() ? buckets_[off] : kEmpty;
+      }
+      case IndexRepr::kHashMap:
+        break;
+    }
     auto it = index_.find(key);
     return it == index_.end() ? kEmpty : it->second;
   }
@@ -514,10 +597,161 @@ class RelationIndex {
 
   const std::vector<int>& positions() const { return positions_; }
 
+  IndexRepr repr() const { return repr_; }
+  /// True when Lookup hashes a key Tuple (the probe-counter split).
+  bool is_hash() const { return repr_ == IndexRepr::kHashMap; }
+
+  /// Rows this index has incorporated (== the relation's num_rows() as of
+  /// the version it is valid for).
+  uint32_t indexed_rows() const { return indexed_rows_; }
+  /// Rows examined by this object's build/refresh column scans (including
+  /// the dense-detection min/max pass) — the "did a cache hit really skip
+  /// the scan" accounting surface.
+  uint64_t rows_scanned() const { return rows_scanned_; }
+
+  // ---------------------------------------------------- incremental refresh
+  // IndexCache-only surface. Both calls require that every row in
+  // [indexed_rows_, rel.num_rows()) is live and in its final position —
+  // guaranteed by the caller's hard_version() check (appends of fresh
+  // rows and value overwrites are the only soft mutations).
+
+  /// Appends the rows added since the last build/refresh. Returns false —
+  /// leaving the index unusable — iff a new key falls outside the direct
+  /// tier's bucket range; the caller rebuilds (and re-picks the tier).
+  bool AppendNewRows() { return AppendRange(indexed_rows_, rel_->num_rows()); }
+
+  /// Refresh after a Clear + refill cycle: empties every entry list
+  /// (keeping their allocations and, for the hash tier, the map nodes)
+  /// and re-appends from row 0. Same false-means-rebuild contract.
+  bool ResetAndReappend() {
+    all_.clear();
+    for (EntryList& b : buckets_) b.clear();
+    for (auto& [key, list] : index_) list.clear();
+    indexed_rows_ = 0;
+    return AppendRange(0, rel_->num_rows());
+  }
+
  private:
+  /// Picks the representation (and, for the direct tier, base/span) from
+  /// the relation's current content.
+  void ChooseRepr() {
+    if (positions_.size() != 1) {
+      repr_ = (positions_.empty() && cfg_.kind != IndexKind::kHash)
+                  ? IndexRepr::kAllRows
+                  : IndexRepr::kHashMap;
+      return;
+    }
+    if (cfg_.kind == IndexKind::kHash) {
+      repr_ = IndexRepr::kHashMap;
+      return;
+    }
+    const std::size_t live = rel_->support_size();
+    if (live == 0) {  // trivially dense: zero buckets, every lookup misses
+      repr_ = IndexRepr::kDirectArray;
+      base_ = 0;
+      span_ = 0;
+      return;
+    }
+    const std::vector<ConstId>& col = rel_->column(positions_[0]);
+    uint32_t lo = 0, hi = 0;
+    if (rel_->tombstones() == 0) {
+      simd::MinMaxU32(col.data(), rel_->num_rows(), &lo, &hi, cfg_.scan);
+    } else {
+      bool first = true;
+      for (uint32_t r = 0; r < rel_->num_rows(); ++r) {
+        if (!rel_->RowLive(r)) continue;
+        if (first || col[r] < lo) lo = col[r];
+        if (first || col[r] > hi) hi = col[r];
+        first = false;
+      }
+    }
+    rows_scanned_ += rel_->num_rows();  // the min/max detection pass
+    const uint64_t span = static_cast<uint64_t>(hi) - lo + 1;
+    const bool dense =
+        cfg_.kind == IndexKind::kDirect ||
+        span <= 4 * static_cast<uint64_t>(live) + 256;
+    if (span <= kDirectSpanCap && dense) {
+      repr_ = IndexRepr::kDirectArray;
+      base_ = lo;
+      span_ = span;
+    } else {
+      repr_ = IndexRepr::kHashMap;
+    }
+  }
+
+  /// Scans rows [from, to) into the structure (skipping dead rows only
+  /// when a full build may see them; refresh ranges are all-live).
+  bool AppendRange(uint32_t from, uint32_t to) {
+    const bool may_have_dead = from == 0 && rel_->tombstones() != 0;
+    switch (repr_) {
+      case IndexRepr::kAllRows:
+        // The entry list IS the live-row compaction — one SIMD pass.
+        if (from == 0) {
+          simd::CollectLiveRows(rel_->live_data(), to, cfg_.scan, &all_);
+        } else {
+          for (uint32_t r = from; r < to; ++r) all_.push_back(r);
+        }
+        break;
+      case IndexRepr::kDirectArray: {
+        const std::vector<ConstId>& col = rel_->column(positions_[0]);
+        // Range check first: a failed append must not leave the buckets
+        // half-updated (the caller keeps the object on failure paths
+        // until it replaces it).
+        for (uint32_t r = from; r < to; ++r) {
+          if (may_have_dead && !rel_->RowLive(r)) continue;
+          if (static_cast<uint32_t>(col[r]) - base_ >= span_) return false;
+        }
+        if (from == 0 && !may_have_dead && span_ != 0 &&
+            span_ <= kFilterBuildSpanCap) {
+          // Small-span full build: one vectorized equality pass per key
+          // fills each bucket in ascending row order.
+          for (uint64_t k = 0; k < span_; ++k) {
+            FilterScans(to);
+            simd::FilterEqRows(col.data(), to,
+                               base_ + static_cast<uint32_t>(k), cfg_.scan,
+                               &buckets_[static_cast<std::size_t>(k)]);
+          }
+        } else {
+          for (uint32_t r = from; r < to; ++r) {
+            if (may_have_dead && !rel_->RowLive(r)) continue;
+            buckets_[col[r] - base_].push_back(r);
+          }
+        }
+        break;
+      }
+      case IndexRepr::kHashMap: {
+        Tuple key(positions_.size(), 0);
+        for (uint32_t r = from; r < to; ++r) {
+          if (may_have_dead && !rel_->RowLive(r)) continue;
+          for (std::size_t i = 0; i < positions_.size(); ++i) {
+            key[i] = rel_->Cell(r, positions_[i]);
+          }
+          index_[key].push_back(r);
+        }
+        break;
+      }
+    }
+    rows_scanned_ += to - from;
+    indexed_rows_ = to;
+    return true;
+  }
+
+  void FilterScans(uint32_t n) { rows_scanned_ += n; }
+
   const Relation<P>* rel_;
   std::vector<int> positions_;
+  IndexConfig cfg_;
+  IndexRepr repr_ = IndexRepr::kHashMap;
+  // General tier.
   std::unordered_map<Tuple, EntryList, TupleHash> index_;
+  // Direct tier: buckets_[key - base_], span_ == buckets_.size().
+  uint32_t base_ = 0;
+  uint64_t span_ = 0;
+  std::vector<EntryList> buckets_;
+  // Empty-key tier.
+  EntryList all_;
+  uint32_t indexed_rows_ = 0;
+  uint64_t rows_scanned_ = 0;
 };
 
 /// Memoizes RelationIndexes keyed by (relation identity, position set).
@@ -532,39 +766,65 @@ class RelationIndex {
 template <Pops P>
 class IndexCache {
  public:
+  /// Index-tier and scan-kernel knobs for every index built through this
+  /// cache. Set before the first Get (the engine does, at construction).
+  void set_config(IndexConfig cfg) { config_ = cfg; }
+  IndexConfig config() const { return config_; }
+
   /// Returns an index of `rel` on `positions`, building it if no current
   /// one is cached. The reference stays valid until `rel` is mutated, the
   /// cache is cleared, or MaybeEvict() runs — Get itself never evicts, so
   /// references obtained during one joining step cannot be invalidated by
   /// later lookups in that same step.
+  ///
+  /// `pin` marks the entry eviction-exempt: the engine pins EDB entries,
+  /// which never mutate during a run but used to fall idle — and get
+  /// evicted, then fully re-scanned — while the ordered scheduler ran
+  /// other groups' local fixpoints.
+  ///
+  /// A version mismatch does not always mean a scan: when the relation
+  /// reports no hard discontinuity since the entry's version, the cached
+  /// index is *refreshed* — appended rows only, or reset-and-reappend
+  /// after a Clear + refill cycle — instead of rebuilt. Refreshes still
+  /// count into builds() (keeping the build/hit counters bit-identical
+  /// to the rebuild-everything behaviour); the appended rows count into
+  /// incremental_appends() so journals show the rebuild work saved.
   const RelationIndex<P>& Get(const Relation<P>& rel,
-                              const std::vector<int>& positions) {
+                              const std::vector<int>& positions,
+                              bool pin = false) {
     // Two-level lookup (uid, then a linear scan of the few position sets a
     // predicate is ever joined on) keeps cache hits allocation-free; the
     // positions vector is copied only when an index is first built.
     std::vector<Entry>& entries = cache_[rel.uid()];
     for (Entry& e : entries) {
       if (e.positions != positions) continue;
+      e.pinned = e.pinned || pin;
       if (e.version == rel.version()) {
         ++hits_;
         e.last_used = sweep_;
         return *e.index;
       }
       ++builds_;
-      // Build before updating the entry: a throwing constructor must not
-      // leave the stale index tagged with the fresh version.
-      auto rebuilt = std::make_unique<RelationIndex<P>>(rel, positions);
+      if (!RefreshEntry(rel, &e)) {
+        // Build before updating the entry: a throwing constructor must
+        // not leave the stale index tagged with the fresh version.
+        auto rebuilt =
+            std::make_unique<RelationIndex<P>>(rel, positions, config_);
+        scan_rows_ += rebuilt->rows_scanned();
+        e.index = std::move(rebuilt);
+      }
       e.version = rel.version();
-      e.index = std::move(rebuilt);
       e.last_used = sweep_;
       return *e.index;
     }
     ++builds_;
     // Growing `entries` may relocate other Entry objects, but never the
     // heap RelationIndexes that outstanding Get() references point to.
-    entries.push_back(Entry{positions, rel.version(),
-                            std::make_unique<RelationIndex<P>>(rel, positions),
-                            sweep_});
+    entries.push_back(
+        Entry{positions, rel.version(),
+              std::make_unique<RelationIndex<P>>(rel, positions, config_),
+              sweep_, pin});
+    scan_rows_ += entries.back().index->rows_scanned();
     return *entries.back().index;
   }
 
@@ -572,13 +832,13 @@ class IndexCache {
   /// fixpoint iterations, which also advances the "recently used" epoch).
   /// Callers that index short-lived relations orphan their entries — each
   /// a fully built index the size of its relation — so everything idle for
-  /// a full epoch is dropped; hot (EDB and persistent-delta) indexes are
-  /// looked up every epoch and survive.
+  /// a full epoch is dropped; hot (persistent-delta) indexes are looked up
+  /// every epoch and survive, and pinned (EDB) entries are exempt.
   void MaybeEvict() {
     ++sweep_;
     for (auto it = cache_.begin(); it != cache_.end();) {
       std::erase_if(it->second, [this](const Entry& e) {
-        return e.last_used + 1 < sweep_;
+        return !e.pinned && e.last_used + 1 < sweep_;
       });
       it = it->second.empty() ? cache_.erase(it) : std::next(it);
     }
@@ -586,10 +846,18 @@ class IndexCache {
 
   void Clear() { cache_.clear(); }
 
-  /// Number of indexes actually constructed through this cache.
+  /// Number of indexes constructed or refreshed through this cache.
   uint64_t builds() const { return builds_; }
   /// Number of lookups served without rebuilding.
   uint64_t hits() const { return hits_; }
+  /// Rows appended to cached indexes by incremental refreshes — each one
+  /// a row the rebuild path would have re-scanned along with its whole
+  /// relation.
+  uint64_t incremental_appends() const { return incremental_appends_; }
+  /// Rows examined by index build/refresh scans through this cache (cache
+  /// hits contribute nothing — the "hit path never scans" assertion
+  /// surface).
+  uint64_t scan_rows() const { return scan_rows_; }
 
  private:
   struct Entry {
@@ -597,12 +865,38 @@ class IndexCache {
     uint64_t version;
     std::unique_ptr<RelationIndex<P>> index;
     uint64_t last_used = 0;  ///< sweep epoch of the most recent lookup
+    bool pinned = false;     ///< eviction-exempt (EDB entries)
   };
 
+  /// Tries the incremental-refresh paths; returns true iff the cached
+  /// index was brought current without a rebuild.
+  bool RefreshEntry(const Relation<P>& rel, Entry* e) {
+    if (rel.hard_version() > e->version) return false;
+    const uint64_t scans_before = e->index->rows_scanned();
+    const uint32_t rows_before = e->index->indexed_rows();
+    bool ok;
+    uint32_t appended;
+    if (rel.clear_version() > e->version) {
+      ok = e->index->ResetAndReappend();
+      appended = ok ? e->index->indexed_rows() : 0;
+    } else {
+      ok = e->index->AppendNewRows();
+      appended = ok ? e->index->indexed_rows() - rows_before : 0;
+    }
+    if (ok) {
+      incremental_appends_ += appended;
+      scan_rows_ += e->index->rows_scanned() - scans_before;
+    }
+    return ok;
+  }
+
+  IndexConfig config_;
   std::unordered_map<uint64_t, std::vector<Entry>> cache_;
   uint64_t sweep_ = 0;
   uint64_t builds_ = 0;
   uint64_t hits_ = 0;
+  uint64_t incremental_appends_ = 0;
+  uint64_t scan_rows_ = 0;
 };
 
 }  // namespace datalogo
