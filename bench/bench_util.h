@@ -171,6 +171,15 @@ inline const char* ScanKernelName(ScanKernel k) {
   return k == ScanKernel::kScalar ? "scalar" : "simd";
 }
 
+/// Effective join-kernel spelling for the journals: the batched kernel's
+/// behaviour depends on the ISA the binary compiled to, so "batched-avx2"
+/// and "batched-sse2" journal as distinct kernels while "scalar" is
+/// ISA-independent.
+inline std::string JoinKernelName(ScanKernel k) {
+  if (k == ScanKernel::kScalar) return "scalar";
+  return std::string("batched-") + simd::IsaName();
+}
+
 /// Host metadata for every BENCH_*.json: hardware concurrency (the PR-5
 /// single-core-host caveat, machine-readable) and the SIMD instruction
 /// set the binary's kSimd scan paths compile to.
@@ -217,6 +226,7 @@ void WriteEngineJson(const std::string& bench_name,
           uint64_t builds = 0, hits = 0, idb_builds = 0, idb_hits = 0;
           uint64_t groups = 0, group_iters = 0, skipped = 0;
           uint64_t incr_appends = 0, hash_probes = 0, direct_probes = 0;
+          uint64_t join_batched = 0;
           const EngineOptions opts{.num_threads = threads,
                                    .scheduler = sched};
           for (int rep = 0; rep < reps; ++rep) {
@@ -242,6 +252,7 @@ void WriteEngineJson(const std::string& bench_name,
               incr_appends = engine.idx_incremental_appends();
               hash_probes = engine.hash_probes();
               direct_probes = engine.direct_probes();
+              join_batched = engine.join_batched_rows();
             }
           }
           json.BeginRow()
@@ -262,6 +273,8 @@ void WriteEngineJson(const std::string& bench_name,
               .Int("rules_skipped", skipped)
               .Str("index_kind", IndexKindName(opts.index_kind))
               .Str("scan_kernel", ScanKernelName(opts.scan_kernel))
+              .Str("join_kernel", JoinKernelName(opts.scan_kernel))
+              .Int("join_batched_rows", join_batched)
               .Int("idx_incremental_appends", incr_appends)
               .Int("hash_probes", hash_probes)
               .Int("direct_probes", direct_probes)

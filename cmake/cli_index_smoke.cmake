@@ -3,7 +3,9 @@
 # --scan=scalar|simd combination must be byte-identical to the default
 # run — fixpoint rows AND the stability-index comment line. The index
 # tier changes how lookups are served and the scan kernel changes how
-# index builds walk columns; neither may change a single output byte.
+# index builds walk columns AND which join kernel the engine runs
+# (row-at-a-time scalar vs SIMD batched bind/check); none of it may
+# change a single output byte.
 #
 # Invoked by CTest as:
 #   cmake -DCLI=<datalogo_cli> -DPROGRAM=<.dl> -DEDGES=<.tsv>
@@ -55,5 +57,12 @@ run_cli(${t4_out} ${PROGRAM} ${base_args} --index=direct --scan=simd
         --threads=4)
 require_identical(${ref_out} ${t4_out}
                   "default and --index=direct --scan=simd --threads=4 output")
+
+# And the scalar join kernel under parallelism: the batched and
+# row-at-a-time joins must replay the same deterministic merge order.
+set(t4_scalar_out "${OUT_DIR}/cli_index_scalar_t4.out")
+run_cli(${t4_scalar_out} ${PROGRAM} ${base_args} --scan=scalar --threads=4)
+require_identical(${ref_out} ${t4_scalar_out}
+                  "default and --scan=scalar --threads=4 output")
 
 message(STATUS "index smoke: all index/scan combinations byte-identical")

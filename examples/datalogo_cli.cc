@@ -34,8 +34,10 @@ struct CliOptions {
   // with triggered rules. Same fixpoint either way; the stability index
   // comment line can differ on multi-group programs.
   Scheduler scheduler = Scheduler::kSweep;
-  // Index tier and scan kernel (engine.h / simd.h). Output is identical
-  // for every combination — these exist for benchmarking and the
+  // Index tier and scan kernel (engine.h / simd.h). --scan selects both
+  // the index-build column scans and the join kernel (scalar
+  // row-at-a-time vs SIMD batched bind/check). Output is identical for
+  // every combination — these exist for benchmarking and the
   // byte-identity smoke test.
   IndexKind index_kind = IndexKind::kAuto;
   ScanKernel scan_kernel = DefaultScanKernel();

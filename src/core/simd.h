@@ -1,10 +1,15 @@
 // Portable SIMD column-scan kernels for the columnar relation store.
 //
-// Three primitives cover every vectorizable scan the index subsystem
-// performs: compacting live-flag bytes to row ids (index construction
-// over tombstoned stores), equality-filtering a ConstId column against
-// one key (small-span direct-index builds), and exact min/max of a
-// ConstId column (dense-range detection for direct indexes).
+// Two families of primitives live here. The *column scans* cover every
+// vectorizable pass the index subsystem performs: compacting live-flag
+// bytes to row ids (index construction over tombstoned stores),
+// equality-filtering a ConstId column against one key (small-span
+// direct-index builds), and exact min/max of a ConstId column
+// (dense-range detection for direct indexes). The *join-batch
+// primitives* (gather / compare-mask / compress) are the building
+// blocks of the engine's batched join kernel: decode a small batch of
+// entry-list row ids, gather the checked column cells, compare them as
+// one mask, and compress the survivors.
 //
 // Dispatch is two-level. The instruction set is chosen at compile time
 // by preprocessor detection (AVX2 > SSE2 on x86, NEON on arm64, scalar
@@ -281,6 +286,172 @@ inline void MinMaxU32(const uint32_t* col, uint32_t n, uint32_t* lo,
   }
   *lo = mn;
   *hi = mx;
+}
+
+// ------------------------------------------------------------------
+// Join-batch primitives. The engine's batched join kernel decodes
+// kJoinBatch row ids per step from an index entry list, gathers the
+// column cells its check ops compare, folds the comparisons into one
+// survivor bitmask, and compresses the surviving row ids into a small
+// batch buffer. All three keep the column-scan contract: scalar
+// reference selectable at runtime, scalar tails, never read past the
+// given length, bit-identical outputs across kernels.
+
+/// Row ids decoded per batched join step. Two SSE2/NEON vectors or one
+/// AVX2 vector per compare; masks stay comfortably inside a uint32_t.
+inline constexpr uint32_t kJoinBatch = 8;
+
+// GatherU32: out[i] = col[rows[i]] for i in [0, n). The batch decode of
+// one column over a row-id batch.
+
+inline void GatherU32Scalar(const uint32_t* col, const uint32_t* rows,
+                            uint32_t n, uint32_t* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = col[rows[i]];
+}
+
+inline void GatherU32(const uint32_t* col, const uint32_t* rows, uint32_t n,
+                      ScanKernel k, uint32_t* out) {
+  if (k == ScanKernel::kScalar) {
+    GatherU32Scalar(col, rows, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 8 <= n; i += 8) {
+    __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows + i));
+    __m256i v =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(col), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+#else
+  // SSE2/NEON have no hardware gather: issue four independent scalar
+  // loads per step so the load ports pipeline them.
+  for (; i + 4 <= n; i += 4) {
+    out[i + 0] = col[rows[i + 0]];
+    out[i + 1] = col[rows[i + 1]];
+    out[i + 2] = col[rows[i + 2]];
+    out[i + 3] = col[rows[i + 3]];
+  }
+#endif
+  for (; i < n; ++i) out[i] = col[rows[i]];
+}
+
+// MaskEqU32: bit i of the result is set iff a[i] == b[i], for i in
+// [0, n); higher bits are clear. Requires n <= 32. The pairwise form
+// serves the engine's repeated-variable checks (two cells of the same
+// row must agree); the scalar-key form filters a gathered batch against
+// one loop-invariant ConstId.
+
+inline uint32_t MaskEqU32Scalar(const uint32_t* a, const uint32_t* b,
+                                uint32_t n) {
+  uint32_t m = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    m |= static_cast<uint32_t>(a[i] == b[i]) << i;
+  }
+  return m;
+}
+
+inline uint32_t MaskEqU32(const uint32_t* a, const uint32_t* b, uint32_t n,
+                          ScanKernel k) {
+  if (k == ScanKernel::kScalar) return MaskEqU32Scalar(a, b, n);
+  uint32_t m = 0;
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 8 <= n; i += 8) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    m |= static_cast<uint32_t>(_mm256_movemask_ps(
+             _mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb))))
+         << i;
+  }
+#elif defined(__SSE2__)
+  for (; i + 4 <= n; i += 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    m |= static_cast<uint32_t>(
+             _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb))))
+         << i;
+  }
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  for (; i + 4 <= n; i += 4) {
+    uint32x4_t eq = vceqq_u32(vld1q_u32(a + i), vld1q_u32(b + i));
+    // Nibble-narrow as in FilterEqRows: each u32 lane lands on 8 mask
+    // bits; pick bit 0 of each byte.
+    uint8x8_t nib = vshrn_n_u16(vreinterpretq_u16_u32(eq), 4);
+    uint64_t nm = vget_lane_u64(vreinterpret_u64_u8(nib), 0);
+    for (uint32_t l = 0; l < 4; ++l) {
+      m |= static_cast<uint32_t>((nm >> (8 * l)) & 1u) << (i + l);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    m |= static_cast<uint32_t>(a[i] == b[i]) << i;
+  }
+  return m;
+}
+
+inline uint32_t MaskEqScalarU32Scalar(const uint32_t* vals, uint32_t n,
+                                      uint32_t key) {
+  uint32_t m = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    m |= static_cast<uint32_t>(vals[i] == key) << i;
+  }
+  return m;
+}
+
+inline uint32_t MaskEqScalarU32(const uint32_t* vals, uint32_t n, uint32_t key,
+                                ScanKernel k) {
+  if (k == ScanKernel::kScalar) return MaskEqScalarU32Scalar(vals, n, key);
+  uint32_t m = 0;
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  const __m256i kv = _mm256_set1_epi32(static_cast<int>(key));
+  for (; i + 8 <= n; i += 8) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    m |= static_cast<uint32_t>(_mm256_movemask_ps(
+             _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, kv))))
+         << i;
+  }
+#elif defined(__SSE2__)
+  const __m128i kv = _mm_set1_epi32(static_cast<int>(key));
+  for (; i + 4 <= n; i += 4) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + i));
+    m |= static_cast<uint32_t>(
+             _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, kv))))
+         << i;
+  }
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  const uint32x4_t kv = vdupq_n_u32(key);
+  for (; i + 4 <= n; i += 4) {
+    uint32x4_t eq = vceqq_u32(vld1q_u32(vals + i), kv);
+    uint8x8_t nib = vshrn_n_u16(vreinterpretq_u16_u32(eq), 4);
+    uint64_t nm = vget_lane_u64(vreinterpret_u64_u8(nib), 0);
+    for (uint32_t l = 0; l < 4; ++l) {
+      m |= static_cast<uint32_t>((nm >> (8 * l)) & 1u) << (i + l);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    m |= static_cast<uint32_t>(vals[i] == key) << i;
+  }
+  return m;
+}
+
+/// Compresses the row ids selected by `mask` into `out`, preserving
+/// ascending lane order; returns how many were written. Callers
+/// guarantee mask bits at or above the batch length are clear (the
+/// MaskEq kernels do). One deterministic implementation serves both
+/// kernels — a bit-scan loop is already branch-light, and survivor
+/// batches are at most kJoinBatch wide.
+inline uint32_t CompressRowIds(const uint32_t* rows, uint32_t mask,
+                               uint32_t* out) {
+  uint32_t count = 0;
+  while (mask) {
+    out[count++] = rows[__builtin_ctz(mask)];
+    mask &= mask - 1;
+  }
+  return count;
 }
 
 }  // namespace simd

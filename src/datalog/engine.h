@@ -9,13 +9,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/core/check.h"
+#include "src/core/simd.h"
 #include "src/core/status.h"
 #include "src/core/thread_pool.h"
 #include "src/datalog/ast.h"
@@ -86,10 +89,16 @@ struct EngineOptions {
   /// Fixpoints, `work` and all four index counters are bit-identical
   /// across tiers — only probe cost and the new probe counters move.
   IndexKind index_kind = IndexKind::kAuto;
-  /// Column-scan kernel for index builds (simd.h). kScalar is the
-  /// definitional reference; kSimd uses the compiled ISA (SSE2/AVX2/
-  /// NEON) with scalar tails. Outputs are bit-identical by construction.
-  /// Default honors the DATALOGO_SCAN environment variable.
+  /// Column-scan and join kernel (simd.h). kScalar forces the
+  /// definitional reference everywhere: scalar index-build scans and the
+  /// row-at-a-time join loop. kSimd uses the compiled ISA (SSE2/AVX2/
+  /// NEON, scalar tails) for index builds AND routes ExecuteShard
+  /// through the batched join kernel (kJoinBatch row ids decoded per
+  /// step, check ops as masked vector compares, survivors compressed
+  /// before the bind ops run). Fixpoints, `work` and all index counters
+  /// are bit-identical across kernels by construction; only
+  /// join_batched_rows() distinguishes them. Default honors the
+  /// DATALOGO_SCAN environment variable.
   ScanKernel scan_kernel = DefaultScanKernel();
 };
 
@@ -167,6 +176,13 @@ class Engine {
   /// fixed order), but NOT pinned across index kinds by design.
   uint64_t hash_probes() const { return hash_probes_; }
   uint64_t direct_probes() const { return direct_probes_; }
+  /// Entry-list rows decoded through the batched join kernel. Zero under
+  /// ScanKernel::kScalar; equal to `work` under kSimd (every visited
+  /// entry goes through the vector path — chunk sizes at shard
+  /// boundaries differ across thread counts, but the counter sums rows,
+  /// so it is thread-invariant like hash_probes: task-private during the
+  /// execute phase, reduced in shard order).
+  uint64_t join_batched_rows() const { return join_batched_rows_; }
   /// Rows appended to cached indexes by incremental refreshes instead of
   /// full rebuilds (relation.h IndexCache) — nonzero on every delta-driven
   /// run; each appended row replaces a whole-relation re-scan.
@@ -416,6 +432,20 @@ class Engine {
     std::vector<int> key_positions;   ///< arg positions bound beforehand
     std::vector<ValueSource> key_sources;  ///< parallel to key_positions
     std::vector<EntryOp> entry_ops;   ///< non-key positions, in arg order
+    /// entry_ops split for the batched join kernel. A kCheck op can only
+    /// compare against a variable bound by an earlier kBind of the SAME
+    /// atom (anything bound before the atom becomes a key position), so
+    /// each check lowers to a same-row column-pair equality: the entry
+    /// survives iff its `pos` cell equals its `first_pos` cell. Checks
+    /// run first over the whole batch (vector compare + survivor
+    /// compress), then the binds run per survivor — rows failing a
+    /// check never touch the bind columns.
+    struct CheckPair {
+      int pos = 0;        ///< position carrying the repeated variable
+      int first_pos = 0;  ///< position whose kBind introduced it
+    };
+    std::vector<CheckPair> check_pairs;
+    std::vector<EntryOp> bind_ops;  ///< the kBind subset, in arg order
   };
 
   struct CompiledDisjunct {
@@ -454,6 +484,17 @@ class Engine {
     Tuple head;                            ///< head tuple buffer
     std::vector<const RowIdList*> entries;  ///< per-level matched row ids
     std::vector<std::size_t> next;         ///< per-level entry cursor
+    // Batched join kernel state. Each level owns a kJoinBatch-wide slice
+    // of `survivors` (levels are re-entered while their parents still
+    // hold half-consumed batches, so the buffers cannot be shared);
+    // `batch` points either into that slice (check levels) or straight
+    // into the entry list (check-free levels decode zero-copy).
+    std::vector<uint32_t> survivors;       ///< levels × kJoinBatch row ids
+    std::vector<const uint32_t*> batch;    ///< per-level current batch
+    std::vector<uint32_t> batch_pos;       ///< per-level batch cursor
+    std::vector<uint32_t> batch_len;       ///< per-level batch fill
+    std::vector<uint32_t> gather_a;        ///< check-gather buffer (lhs)
+    std::vector<uint32_t> gather_b;        ///< check-gather buffer (rhs)
   };
 
   /// Per-generator inputs of one disjunct evaluation, resolved during the
@@ -499,6 +540,7 @@ class Engine {
     uint64_t work = 0;
     uint64_t hash_probes = 0;    ///< task-private, reduced in shard order
     uint64_t direct_probes = 0;
+    uint64_t join_batched = 0;   ///< rows through the batched join path
     const CompiledDisjunct* sized_for = nullptr;  ///< scratch shape guard
   };
 
@@ -579,6 +621,25 @@ class Engine {
                   EntryOp{EntryOp::Kind::kCheck, static_cast<int>(p), t.var});
             }
           }
+          // Split for the batched kernel: every kCheck pairs with the
+          // kBind that introduced its variable earlier in this atom (see
+          // Generator::CheckPair — no other source is possible).
+          for (const EntryOp& op : g.entry_ops) {
+            if (op.kind == EntryOp::Kind::kBind) {
+              g.bind_ops.push_back(op);
+              continue;
+            }
+            int first_pos = -1;
+            for (const EntryOp& b : g.entry_ops) {
+              if (b.kind == EntryOp::Kind::kBind && b.var == op.var) {
+                first_pos = b.pos;
+                break;
+              }
+            }
+            DLO_CHECK_MSG(first_pos >= 0,
+                          "check without a same-atom binding occurrence");
+            g.check_pairs.push_back({op.pos, first_pos});
+          }
           cd.generators.push_back(std::move(g));
         };
 
@@ -602,7 +663,15 @@ class Engine {
             add_generator(true, static_cast<int>(i), c.atom);
           }
         }
-        // Residual checks: everything except bool atoms used as generators.
+        // Residual checks: everything except bool atoms used as
+        // generators — minus compile-time-decidable compares. A compare
+        // whose sides are both constants or prebound variables has one
+        // truth value for the whole run (prebound variables are never
+        // rebound: later occurrences compile to key positions), so
+        // re-grounding it per emitted row is pure waste. Always-true
+        // ones are dropped here; always-false ones stay residual, so a
+        // dead disjunct keeps the exact work/probe trace of its join
+        // while emitting nothing.
         for (std::size_t i = 0; i < sp.conditions.size(); ++i) {
           const Condition& c = sp.conditions[i];
           bool is_generator = false;
@@ -612,7 +681,12 @@ class Engine {
               break;
             }
           }
-          if (!is_generator) cd.residual.push_back(&c);
+          if (is_generator) continue;
+          if (c.kind == Condition::Kind::kCompare) {
+            std::optional<bool> decided = DecideGroundCompare(c, pre);
+            if (decided.has_value() && *decided) continue;
+          }
+          cd.residual.push_back(&c);
         }
 
         // O(1) atom-index → IDB-occurrence map for the semi-naive
@@ -988,6 +1062,7 @@ class Engine {
       st.work = 0;
       st.hash_probes = 0;
       st.direct_probes = 0;
+      st.join_batched = 0;
     }
     pool_->ParallelFor(tasks.size(), [&](std::size_t t) {
       const TaskRef& tr = tasks[t];
@@ -995,7 +1070,7 @@ class Engine {
       TaskState& st = par_states_[t];
       ExecuteShard(*un.cd, par_prepared_[static_cast<std::size_t>(tr.unit)],
                    st.scratch, tr.begin, tr.end, &st.partial, &st.work,
-                   &st.hash_probes, &st.direct_probes);
+                   &st.hash_probes, &st.direct_probes, &st.join_batched);
     });
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const EvalUnit& un = units[static_cast<std::size_t>(tasks[t].unit)];
@@ -1004,6 +1079,7 @@ class Engine {
       *work += par_states_[t].work;
       hash_probes_ += par_states_[t].hash_probes;
       direct_probes_ += par_states_[t].direct_probes;
+      join_batched_rows_ += par_states_[t].join_batched;
     }
   }
 
@@ -1066,6 +1142,40 @@ class Engine {
     return false;
   }
 
+  /// Compile-time truth value of a compare condition under the
+  /// disjunct's prebindings, or nullopt when a side is unbound at
+  /// compile time (or an ordered compare reaches a non-integer constant
+  /// — left for the runtime check so compilation cannot fail on a
+  /// condition no emitted row would ever reach).
+  std::optional<bool> DecideGroundCompare(const Condition& c,
+                                          const std::vector<ConstId>& pre)
+      const {
+    auto ground = [&](const Term& t) -> ConstId {
+      if (!t.IsVar()) return t.constant;
+      return pre[t.var];
+    };
+    const ConstId l = ground(c.lhs);
+    const ConstId r = ground(c.rhs);
+    if (l == kUnbound || r == kUnbound) return std::nullopt;
+    if (c.op == CmpOp::kEq) return l == r;
+    if (c.op == CmpOp::kNe) return l != r;
+    auto li = prog_->domain()->AsInt(l);
+    auto ri = prog_->domain()->AsInt(r);
+    if (!li.has_value() || !ri.has_value()) return std::nullopt;
+    switch (c.op) {
+      case CmpOp::kLt:
+        return *li < *ri;
+      case CmpOp::kLe:
+        return *li <= *ri;
+      case CmpOp::kGt:
+        return *li > *ri;
+      case CmpOp::kGe:
+        return *li >= *ri;
+      default:
+        return std::nullopt;
+    }
+  }
+
   /// Sizes a Scratch's buffers for one disjunct (idempotent; reuses
   /// capacity when a task slot is re-pointed at the same shape).
   void SizeScratch(const Rule& rule, const CompiledDisjunct& cd,
@@ -1080,6 +1190,12 @@ class Engine {
     sc->head = Tuple(rule.head.args.size(), 0);
     sc->entries.assign(cd.generators.size(), nullptr);
     sc->next.assign(cd.generators.size(), 0);
+    sc->survivors.assign(cd.generators.size() * simd::kJoinBatch, 0);
+    sc->batch.assign(cd.generators.size(), nullptr);
+    sc->batch_pos.assign(cd.generators.size(), 0);
+    sc->batch_len.assign(cd.generators.size(), 0);
+    sc->gather_a.assign(simd::kJoinBatch, 0);
+    sc->gather_b.assign(simd::kJoinBatch, 0);
   }
 
   /// Residual checks + zero filter + head construction for one complete
@@ -1109,7 +1225,7 @@ class Engine {
     PrepareGens(cd, resolver, &prep);
     ExecuteShard(cd, prep, scratch_[static_cast<std::size_t>(cd.scratch_id)],
                  0, static_cast<std::size_t>(-1), out, work, &hash_probes_,
-                 &direct_probes_);
+                 &direct_probes_, &join_batched_rows_);
   }
 
   /// Prepare phase of one disjunct evaluation: resolves every generator's
@@ -1216,22 +1332,44 @@ class Engine {
   /// Execute phase: joins driver entries [begin, end) of a prepared
   /// disjunct into `out`, counting visited entries into `work`.
   ///
-  /// Runs the compiled flat join program with an explicit iterative loop
-  /// over generator levels: per level, the key buffer is filled from
+  /// Two kernels implement the same join, selected once per engine by
+  /// EngineOptions::scan_kernel: the row-at-a-time scalar reference and
+  /// the batch-at-a-time vector kernel (below). Both visit the same
+  /// entries in the same order and merge the same heads in the same
+  /// order, so fixpoints, `work` and every index counter are
+  /// bit-identical across kernels; `join_batched` counts the rows the
+  /// vector path decoded (zero for the scalar kernel).
+  ///
+  /// Const-path safety: reads only immutable prepared/compiled state and
+  /// the (unchanging) input relations; writes only `sc`, `out` and the
+  /// task counters, which belong exclusively to the calling task — so
+  /// shards execute concurrently without synchronization.
+  void ExecuteShard(const CompiledDisjunct& cd, const PreparedGens& prep,
+                    Scratch& sc, std::size_t begin, std::size_t end,
+                    Relation<P>* out, uint64_t* work, uint64_t* hash_probes,
+                    uint64_t* direct_probes, uint64_t* join_batched) const {
+    if (options_.scan_kernel == ScanKernel::kSimd) {
+      ExecuteShardBatched(cd, prep, sc, begin, end, out, work, hash_probes,
+                          direct_probes, join_batched);
+    } else {
+      ExecuteShardScalar(cd, prep, sc, begin, end, out, work, hash_probes,
+                         direct_probes);
+    }
+  }
+
+  /// The scalar join kernel — the definitional reference. Runs the
+  /// compiled flat join program with an explicit iterative loop over
+  /// generator levels: per level, the key buffer is filled from
   /// precomputed sources, looked up in the prepared index, and each entry
   /// runs its bind/check ops — no recursion, no per-entry allocation, no
   /// Term re-inspection. Unbinding on backtrack is unnecessary: which
   /// variables are bound at each level is static, so stale slots are
   /// always overwritten before being read.
-  ///
-  /// Const-path safety: reads only immutable prepared/compiled state and
-  /// the (unchanging) input relations; writes only `sc`, `out` and
-  /// `work`, which belong exclusively to the calling task — so shards
-  /// execute concurrently without synchronization.
-  void ExecuteShard(const CompiledDisjunct& cd, const PreparedGens& prep,
-                    Scratch& sc, std::size_t begin, std::size_t end,
-                    Relation<P>* out, uint64_t* work, uint64_t* hash_probes,
-                    uint64_t* direct_probes) const {
+  void ExecuteShardScalar(const CompiledDisjunct& cd, const PreparedGens& prep,
+                          Scratch& sc, std::size_t begin, std::size_t end,
+                          Relation<P>* out, uint64_t* work,
+                          uint64_t* hash_probes,
+                          uint64_t* direct_probes) const {
     for (const auto& [v, c] : cd.prebindings) sc.binding[v] = c;
 
     const std::size_t levels = cd.generators.size();
@@ -1311,6 +1449,198 @@ class Engine {
     }
   }
 
+  /// The batched join kernel. Per level, entry-list row ids are decoded
+  /// simd::kJoinBatch at a time: the level's check ops run first as
+  /// vector compares over the gathered column pairs (Generator::
+  /// CheckPair), the survivor mask is compressed into the level's
+  /// Scratch batch slice, and only then do the bind ops touch the
+  /// surviving rows — check-free levels alias the batch pointer straight
+  /// into the entry list (zero copy). Descending a level leaves the
+  /// parent's batch half-consumed, which is why every level owns its own
+  /// survivor slice; the innermost level drains whole batches in one
+  /// tight loop. Work accounting is per chunk (`work += chunk` on
+  /// refill) and covers every decoded row, matching the scalar kernel's
+  /// per-entry `++work` exactly; survivor order is entry-list order, so
+  /// head merges replay the scalar sequence bit-for-bit.
+  void ExecuteShardBatched(const CompiledDisjunct& cd,
+                           const PreparedGens& prep, Scratch& sc,
+                           std::size_t begin, std::size_t end,
+                           Relation<P>* out, uint64_t* work,
+                           uint64_t* hash_probes, uint64_t* direct_probes,
+                           uint64_t* join_batched) const {
+    for (const auto& [v, c] : cd.prebindings) sc.binding[v] = c;
+
+    const std::size_t levels = cd.generators.size();
+    if (levels == 0) {
+      EmitHead(cd, sc, P::One(), out);
+      return;
+    }
+    const RowIdList& driver = *prep.level0;
+    if (end > driver.size()) end = driver.size();
+    if (begin >= end) return;
+    sc.entries[0] = &driver;
+    sc.next[0] = begin;
+    sc.batch_pos[0] = 0;
+    sc.batch_len[0] = 0;
+
+    auto enter_level = [&](std::size_t lvl) {
+      const Generator& gen = cd.generators[lvl];
+      Tuple& key = sc.keys[lvl];
+      for (std::size_t i = 0; i < gen.key_sources.size(); ++i) {
+        const ValueSource& s = gen.key_sources[i];
+        key[i] = s.var >= 0 ? sc.binding[s.var] : s.constant;
+      }
+      CountProbe(prep.repr[lvl], hash_probes, direct_probes);
+      if (gen.is_bool) {
+        sc.entries[lvl] = &prep.bool_idx[lvl]->Lookup(key);
+      } else {
+        sc.entries[lvl] = &prep.pops_idx[lvl]->Lookup(key);
+      }
+      sc.next[lvl] = 0;
+      sc.batch_pos[lvl] = 0;
+      sc.batch_len[lvl] = 0;
+    };
+
+    // Refills level g's survivor batch from its entry list; returns
+    // false when the list is exhausted without survivors (pop a level).
+    // Chunks that fail every check refill again immediately, so one
+    // call always leaves either a non-empty batch or a spent cursor.
+    constexpr uint32_t kB = simd::kJoinBatch;
+    auto refill = [&](std::size_t g) {
+      const Generator& gen = cd.generators[g];
+      const RowIdList& entries = *sc.entries[g];
+      const std::size_t limit = g == 0 ? end : entries.size();
+      uint32_t filled = 0;
+      while (filled == 0 && sc.next[g] < limit) {
+        const uint32_t chunk =
+            static_cast<uint32_t>(std::min<std::size_t>(kB, limit - sc.next[g]));
+        const uint32_t* rows = entries.data() + sc.next[g];
+        sc.next[g] += chunk;
+        *work += chunk;
+        *join_batched += chunk;
+        if (gen.check_pairs.empty()) {
+          sc.batch[g] = rows;
+          filled = chunk;
+          continue;
+        }
+        uint32_t mask = (1u << chunk) - 1;  // chunk <= kB < 32
+        for (const typename Generator::CheckPair& cp : gen.check_pairs) {
+          const ConstId* ca;
+          const ConstId* cb;
+          if (gen.is_bool) {
+            ca = prep.bool_rel[g]->column_data(cp.pos);
+            cb = prep.bool_rel[g]->column_data(cp.first_pos);
+          } else {
+            ca = prep.pops_rel[g]->column_data(cp.pos);
+            cb = prep.pops_rel[g]->column_data(cp.first_pos);
+          }
+          simd::GatherU32(ca, rows, chunk, ScanKernel::kSimd,
+                          sc.gather_a.data());
+          simd::GatherU32(cb, rows, chunk, ScanKernel::kSimd,
+                          sc.gather_b.data());
+          mask &= simd::MaskEqU32(sc.gather_a.data(), sc.gather_b.data(),
+                                  chunk, ScanKernel::kSimd);
+          if (mask == 0) break;
+        }
+        uint32_t* surv = sc.survivors.data() + g * kB;
+        filled = simd::CompressRowIds(rows, mask, surv);
+        sc.batch[g] = surv;
+      }
+      sc.batch_len[g] = filled;
+      sc.batch_pos[g] = 0;
+      return filled != 0;
+    };
+
+    // Drains one innermost-level row batch: binds, accumulate, emit —
+    // no state-machine dispatch per row.
+    auto drain = [&](std::size_t g, const uint32_t* rows, std::size_t n) {
+      const Generator& gen = cd.generators[g];
+      const typename P::Value& acc_in = sc.acc[g];
+      if (gen.is_bool) {
+        const Relation<BoolS>& rel = *prep.bool_rel[g];
+        for (std::size_t i = 0; i < n; ++i) {
+          const uint32_t row = rows[i];
+          for (const EntryOp& op : gen.bind_ops) {
+            sc.binding[op.var] = rel.Cell(row, op.pos);
+          }
+          EmitHead(cd, sc, acc_in, out);
+        }
+      } else if (gen.bind_ops.size() == 1) {
+        // The dominant shape (e.g. TC's E(Z,Y) level): one bound column,
+        // hoisted to a raw span outside the loop.
+        const Relation<P>& rel = *prep.pops_rel[g];
+        const ConstId* col = rel.column_data(gen.bind_ops[0].pos);
+        const int var = gen.bind_ops[0].var;
+        for (std::size_t i = 0; i < n; ++i) {
+          const uint32_t row = rows[i];
+          sc.binding[var] = col[row];
+          EmitHead(cd, sc, P::Times(acc_in, rel.ValueAt(row)), out);
+        }
+      } else {
+        const Relation<P>& rel = *prep.pops_rel[g];
+        for (std::size_t i = 0; i < n; ++i) {
+          const uint32_t row = rows[i];
+          for (const EntryOp& op : gen.bind_ops) {
+            sc.binding[op.var] = rel.Cell(row, op.pos);
+          }
+          EmitHead(cd, sc, P::Times(acc_in, rel.ValueAt(row)), out);
+        }
+      }
+    };
+
+    sc.acc[0] = P::One();
+    std::size_t g = 0;
+    for (;;) {
+      const Generator& gen = cd.generators[g];
+      if (g + 1 == levels) {
+        // Innermost level: everything it produces is consumed here, so a
+        // check-free list needs no survivor buffer at all — the whole
+        // remaining range is one batch. Check-bearing lists go through
+        // the refill/compress cycle batch by batch.
+        if (gen.check_pairs.empty()) {
+          const RowIdList& entries = *sc.entries[g];
+          const std::size_t limit = g == 0 ? end : entries.size();
+          const std::size_t n = limit - sc.next[g];
+          drain(g, entries.data() + sc.next[g], n);
+          sc.next[g] = limit;
+          *work += n;
+          *join_batched += n;
+        } else {
+          while (refill(g)) {
+            drain(g, sc.batch[g], sc.batch_len[g]);
+            sc.batch_pos[g] = sc.batch_len[g];
+          }
+        }
+        if (g == 0) break;
+        --g;
+        continue;
+      }
+      // Mid level: take one survivor, bind, accumulate, descend.
+      if (sc.batch_pos[g] == sc.batch_len[g] && !refill(g)) {
+        if (g == 0) break;
+        --g;
+        continue;
+      }
+      const uint32_t row = sc.batch[g][sc.batch_pos[g]];
+      ++sc.batch_pos[g];
+      if (gen.is_bool) {
+        const Relation<BoolS>& rel = *prep.bool_rel[g];
+        for (const EntryOp& op : gen.bind_ops) {
+          sc.binding[op.var] = rel.Cell(row, op.pos);
+        }
+        sc.acc[g + 1] = sc.acc[g];
+      } else {
+        const Relation<P>& rel = *prep.pops_rel[g];
+        for (const EntryOp& op : gen.bind_ops) {
+          sc.binding[op.var] = rel.Cell(row, op.pos);
+        }
+        sc.acc[g + 1] = P::Times(sc.acc[g], rel.ValueAt(row));
+      }
+      ++g;
+      enter_level(g);
+    }
+  }
+
   const Program* prog_;
   const EdbInstance<P>* edb_;
   EngineOptions options_;
@@ -1335,6 +1665,7 @@ class Engine {
   mutable uint64_t idb_index_hits_ = 0;    ///< cache hits for IDB inputs
   mutable uint64_t hash_probes_ = 0;    ///< hash-map index lookups
   mutable uint64_t direct_probes_ = 0;  ///< direct-array index lookups
+  mutable uint64_t join_batched_rows_ = 0;  ///< rows through vector join
   mutable uint64_t edb_index_scan_rows_ = 0;  ///< EDB build-scan rows
   mutable std::vector<EvalUnit> group_units_;  ///< ordered-round unit buffer
   mutable uint64_t group_iterations_ = 0;  ///< ordered: local rounds run

@@ -153,6 +153,10 @@ class Relation {
   RowView View(uint32_t row) const { return RowView(&cols_, row); }
   /// One whole key column — the sequential-scan surface for index builds.
   const std::vector<ConstId>& column(int pos) const { return cols_[pos]; }
+  /// Raw span of one key column, indexable by row id — the gather
+  /// surface of the batched join kernel (simd::GatherU32 decodes entry
+  /// batches straight from it). Valid until the columns mutate.
+  const ConstId* column_data(int pos) const { return cols_[pos].data(); }
   /// Raw live-flag bytes (parallel to the columns) — the SIMD-scan
   /// surface for live-row compaction during index builds.
   const uint8_t* live_data() const { return live_flags_.data(); }

@@ -63,6 +63,7 @@ struct RunResult {
   uint64_t hash_probes = 0;
   uint64_t direct_probes = 0;
   uint64_t incremental_appends = 0;
+  uint64_t join_batched_rows = 0;
 };
 
 template <Pops P>
@@ -75,6 +76,15 @@ RunResult<P> RunOnce(const Program& prog, const EdbInstance<P>& edb,
   out.hash_probes = engine.hash_probes();
   out.direct_probes = engine.direct_probes();
   out.incremental_appends = engine.idx_incremental_appends();
+  out.join_batched_rows = engine.join_batched_rows();
+  // The join-kernel totality invariant: under the batched kernel every
+  // visited entry is decoded through the vector path; under the scalar
+  // kernel none is.
+  if (opts.scan_kernel == ScanKernel::kSimd) {
+    EXPECT_EQ(out.join_batched_rows, out.eval.work);
+  } else {
+    EXPECT_EQ(out.join_batched_rows, 0u);
+  }
   return out;
 }
 
@@ -204,6 +214,27 @@ TEST(EngineIndexTiers, ProvenancePosBoolChain6) {
   }
   ExpectBitIdenticalAcrossConfigs(prog, edb, /*golden_naive_work=*/125,
                                   /*golden_semi_work=*/30);
+}
+
+TEST(EngineIndexTiers, RepeatedVariableChecksChordalCycle12) {
+  // Repeated-variable atoms (T(X,X), E(X,X)) compile to check ops — the
+  // one join-program construct where the batched kernel's vector
+  // compare/compress path does real filtering work, so this golden pins
+  // `work` (which counts check-failing entries too) across the full
+  // config cross. The chordal-cycle EDB gets explicit self-loops so the
+  // checks both pass and fail.
+  constexpr const char* kSelfLoopTc = R"(
+    edb E/2.
+    idb T/2.
+    T(X,Y) :- E(X,Y) ; T(X,X) * E(X,Y) ; T(X,Z) * E(Z,Y).
+  )";
+  Graph g = CycleGraph(12);
+  for (int v = 0; v < 12; v += 4) g.AddEdge(v, v, 1.0);
+  for (int v = 0; v < 12; v += 3) g.AddEdge(v, (v + 5) % 12, 2.0);
+  ExpectBitIdenticalOnGraph<TropS>(kSelfLoopTc, g,
+                                   [](const Edge& e) { return e.weight; },
+                                   /*golden_naive_work=*/2996,
+                                   /*golden_semi_work=*/554);
 }
 
 TEST(EngineIndexTiers, DirectTierReplacesHashProbesOnDenseKeys) {

@@ -244,8 +244,10 @@ TEST(EngineStress, ParallelRandomProgramsMatchSequential) {
   // Randomized programs (1-2 IDB predicates, 1-3 disjuncts each, sampled
   // from a range-restricted template grammar) over randomized EDBs: the
   // parallel engine must reproduce the sequential fixpoint, work counter
-  // and iteration count exactly, across thread counts and shard sizes —
-  // including shard_rows = 1, one task per driver entry.
+  // and iteration count exactly, across thread counts, shard sizes —
+  // including shard_rows = 1, one task per driver entry — and join
+  // kernels (the sequential reference is pinned to the scalar kernel;
+  // the parallel engine samples scalar or batched-SIMD per case).
   const int cases = CiIterations(12, 4);
   const int env_threads = StressThreads();
   std::mt19937_64 rng(0xD47A1060u);
@@ -257,11 +259,13 @@ TEST(EngineStress, ParallelRandomProgramsMatchSequential) {
     text << "T(X,Y) :- E(X,Y)";
     if (rng() % 2 == 0) text << " ; T(X,Z) * E(Z,Y)";
     if (rng() % 2 == 0) text << " ; T(X,Z) * T(Z,Y)";
+    if (rng() % 2 == 0) text << " ; T(X,X) * E(X,Y)";  // repeated-var check
     if (rng() % 3 == 0) text << " ; { E(X,Z) * E(Z,Y) | X != Y }";
     text << ".\n";
     if (two_idb) {
       text << "U(X,Y) :- T(X,Y)";
       if (rng() % 2 == 0) text << " ; U(X,Z) * E(Z,Y)";
+      if (rng() % 2 == 0) text << " ; E(X,X) * T(X,Y)";  // check on EDB
       text << ".\n";
     }
     SCOPED_TRACE(::testing::Message() << "case " << c << ":\n" << text.str());
@@ -277,18 +281,23 @@ TEST(EngineStress, ParallelRandomProgramsMatchSequential) {
     LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
                      &edb.pops(prog.value().FindPredicate("E")));
 
-    Engine<TropS> seq(prog.value(), edb);
+    Engine<TropS> seq(prog.value(), edb,
+                      EngineOptions{.scan_kernel = ScanKernel::kScalar});
     auto base_naive = seq.Naive(100000);
     auto base_semi = seq.SemiNaive(100000);
     ASSERT_TRUE(base_naive.converged && base_semi.converged);
 
     const int threads = c % 2 == 0 ? env_threads : 2 + static_cast<int>(rng() % 2);
     const int shard_rows = std::array{1, 8, 512}[rng() % 3];
+    const ScanKernel scan =
+        rng() % 2 == 0 ? ScanKernel::kSimd : ScanKernel::kScalar;
     SCOPED_TRACE(::testing::Message()
-                 << "threads=" << threads << " shard_rows=" << shard_rows);
+                 << "threads=" << threads << " shard_rows=" << shard_rows
+                 << " scan=" << (scan == ScanKernel::kSimd ? "simd" : "scalar"));
     Engine<TropS> par(prog.value(), edb,
                       EngineOptions{.num_threads = threads,
-                                    .shard_rows = shard_rows});
+                                    .shard_rows = shard_rows,
+                                    .scan_kernel = scan});
     auto par_naive = par.Naive(100000);
     auto par_semi = par.SemiNaive(100000);
     ASSERT_TRUE(par_naive.converged && par_semi.converged);
@@ -298,6 +307,74 @@ TEST(EngineStress, ParallelRandomProgramsMatchSequential) {
     EXPECT_EQ(par_semi.work, base_semi.work);
     EXPECT_EQ(par_naive.steps, base_naive.steps);
     EXPECT_EQ(par_semi.steps, base_semi.steps);
+    // Every visited entry goes through the batched path, or none does.
+    if (scan == ScanKernel::kSimd) {
+      EXPECT_EQ(par.join_batched_rows(), par_naive.work + par_semi.work);
+    } else {
+      EXPECT_EQ(par.join_batched_rows(), 0u);
+    }
+  }
+}
+
+TEST(EngineStress, BatchedJoinKernelMatchesScalarOnRandomPrograms) {
+  // The dedicated scan-kernel sweep: random programs biased toward
+  // repeated-variable atoms (T(X,X), E(X,X) — the patterns that compile
+  // to check ops and exercise the gather/compare/compress path) plus
+  // residual conditions, run under both kernels at 1 and 4 threads. The
+  // batched kernel must reproduce the scalar fixpoint, work and steps
+  // exactly, and count every visited entry into join_batched_rows.
+  const int cases = CiIterations(10, 4);
+  std::mt19937_64 rng(0xBA7C4ED0u);
+  for (int c = 0; c < cases; ++c) {
+    std::ostringstream text;
+    text << "edb E/2.\nidb T/2.\nidb U/2.\n";
+    text << "T(X,Y) :- E(X,Y)";
+    if (rng() % 2 == 0) text << " ; T(X,X) * E(X,Y)";
+    if (rng() % 2 == 0) text << " ; T(X,Z) * E(Z,Y)";
+    text << ".\n";
+    text << "U(X,Y) :- E(X,X) * T(X,Y)";
+    if (rng() % 2 == 0) text << " ; U(X,X) * T(X,Y)";
+    if (rng() % 3 == 0) text << " ; { T(X,Z) * T(Z,Y) | X != Y }";
+    text << ".\n";
+    SCOPED_TRACE(::testing::Message() << "case " << c << ":\n" << text.str());
+    Domain dom;
+    auto prog = ParseProgram(text.str(), &dom);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    ASSERT_TRUE(ValidateProgram(prog.value()).ok());
+    const int n = 5 + static_cast<int>(rng() % 12);
+    const int m = 2 * n + static_cast<int>(rng() % (2 * n));
+    Graph g = RandomGraph(n, m, rng());
+    // Guarantee some self-loops so the checks have surviving rows, not
+    // just failing ones.
+    for (int v = 0; v < n; v += 3) g.AddEdge(v, v, 1.0);
+    std::vector<ConstId> ids = InternVertices(n, &dom);
+    EdbInstance<TropS> edb(prog.value());
+    LoadEdges<TropS>(g, ids, [](const Edge& e) { return e.weight; },
+                     &edb.pops(prog.value().FindPredicate("E")));
+
+    Engine<TropS> scalar(prog.value(), edb,
+                         EngineOptions{.scan_kernel = ScanKernel::kScalar});
+    auto ref_naive = scalar.Naive(100000);
+    auto ref_semi = scalar.SemiNaive(100000);
+    ASSERT_TRUE(ref_naive.converged && ref_semi.converged);
+    EXPECT_EQ(scalar.join_batched_rows(), 0u);
+
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+      Engine<TropS> batched(prog.value(), edb,
+                            EngineOptions{.num_threads = threads,
+                                          .scan_kernel = ScanKernel::kSimd});
+      auto got_naive = batched.Naive(100000);
+      auto got_semi = batched.SemiNaive(100000);
+      ASSERT_TRUE(got_naive.converged && got_semi.converged);
+      EXPECT_TRUE(got_naive.idb.Equals(ref_naive.idb));
+      EXPECT_TRUE(got_semi.idb.Equals(ref_semi.idb));
+      EXPECT_EQ(got_naive.work, ref_naive.work);
+      EXPECT_EQ(got_semi.work, ref_semi.work);
+      EXPECT_EQ(got_naive.steps, ref_naive.steps);
+      EXPECT_EQ(got_semi.steps, ref_semi.steps);
+      EXPECT_EQ(batched.join_batched_rows(), got_naive.work + got_semi.work);
+    }
   }
 }
 
