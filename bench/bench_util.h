@@ -180,6 +180,22 @@ inline std::string JoinKernelName(ScanKernel k) {
   return std::string("batched-") + simd::IsaName();
 }
 
+/// Effective value-kernel spelling: the vectorized value plane only runs
+/// when the join kernel is batched AND the value kernel is kSimd AND the
+/// semiring opted into SemiringSimdTraits; otherwise values journal as
+/// "scalar". Active kernels journal the trait family plus the ISA (e.g.
+/// "trop-f64-sse2") so journals from different hosts stay distinguishable.
+template <NaturallyOrderedSemiring P>
+std::string ValueKernelName(ScanKernel scan, ScanKernel values) {
+  if constexpr (VectorizedValuePlane<P>) {
+    if (scan == ScanKernel::kSimd && values == ScanKernel::kSimd) {
+      return std::string(SemiringSimdTraits<P>::kFamily) + "-" +
+             simd::IsaName();
+    }
+  }
+  return "scalar";
+}
+
 /// Host metadata for every BENCH_*.json: hardware concurrency (the PR-5
 /// single-core-host caveat, machine-readable) and the SIMD instruction
 /// set the binary's kSimd scan paths compile to.
@@ -226,7 +242,7 @@ void WriteEngineJson(const std::string& bench_name,
           uint64_t builds = 0, hits = 0, idb_builds = 0, idb_hits = 0;
           uint64_t groups = 0, group_iters = 0, skipped = 0;
           uint64_t incr_appends = 0, hash_probes = 0, direct_probes = 0;
-          uint64_t join_batched = 0;
+          uint64_t join_batched = 0, values_batched = 0;
           const EngineOptions opts{.num_threads = threads,
                                    .scheduler = sched};
           for (int rep = 0; rep < reps; ++rep) {
@@ -253,6 +269,7 @@ void WriteEngineJson(const std::string& bench_name,
               hash_probes = engine.hash_probes();
               direct_probes = engine.direct_probes();
               join_batched = engine.join_batched_rows();
+              values_batched = engine.values_batched();
             }
           }
           json.BeginRow()
@@ -275,6 +292,9 @@ void WriteEngineJson(const std::string& bench_name,
               .Str("scan_kernel", ScanKernelName(opts.scan_kernel))
               .Str("join_kernel", JoinKernelName(opts.scan_kernel))
               .Int("join_batched_rows", join_batched)
+              .Str("value_kernel",
+                   ValueKernelName<P>(opts.scan_kernel, opts.value_kernel))
+              .Int("values_batched", values_batched)
               .Int("idx_incremental_appends", incr_appends)
               .Int("hash_probes", hash_probes)
               .Int("direct_probes", direct_probes)

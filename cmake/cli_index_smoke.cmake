@@ -65,4 +65,20 @@ run_cli(${t4_scalar_out} ${PROGRAM} ${base_args} --scan=scalar --threads=4)
 require_identical(${ref_out} ${t4_scalar_out}
                   "default and --scan=scalar --threads=4 output")
 
+# Value-plane kernel: the batched join with scalar values (per-row ⊗ and
+# head merges) must be byte-identical to the vectorized value plane
+# (SIMD ⊗ products, pre-hashed ⊕-coalesced head emission), serial and
+# parallel.
+foreach(values scalar simd)
+  set(out "${OUT_DIR}/cli_index_values_${values}.out")
+  run_cli(${out} ${PROGRAM} ${base_args} --scan=simd --values=${values})
+  require_identical(${ref_out} ${out}
+                    "default and --scan=simd --values=${values} output")
+endforeach()
+set(vt4_out "${OUT_DIR}/cli_index_values_scalar_t4.out")
+run_cli(${vt4_out} ${PROGRAM} ${base_args} --scan=simd --values=scalar
+        --threads=4)
+require_identical(${ref_out} ${vt4_out}
+                  "default and --scan=simd --values=scalar --threads=4 output")
+
 message(STATUS "index smoke: all index/scan combinations byte-identical")

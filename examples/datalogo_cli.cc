@@ -4,6 +4,7 @@
 //       --edb E=edges.tsv --bedb G=flags.tsv [--seminaive] [--advise]
 //       [--threads=N] [--scheduler=sweep|ordered]
 //       [--index=hash|direct|auto] [--scan=scalar|simd]
+//       [--values=scalar|simd]
 //
 // Semirings: bool, nat, trop, tropnat, fuzzy, viterbi.
 // POPS EDB TSVs carry the value in the last column; Boolean EDB TSVs are
@@ -41,6 +42,11 @@ struct CliOptions {
   // byte-identity smoke test.
   IndexKind index_kind = IndexKind::kAuto;
   ScanKernel scan_kernel = DefaultScanKernel();
+  // --values selects the value-plane kernel (⊗ products / head emission
+  // inside the batched join); only active when --scan=simd and the
+  // semiring opted into SemiringSimdTraits. Output is identical either
+  // way.
+  ScanKernel value_kernel = DefaultValueKernel();
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -110,6 +116,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
         opt->scan_kernel = ScanKernel::kSimd;
       } else {
         std::fprintf(stderr, "unknown scan kernel: %s\n", name.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--values=", 0) == 0) {
+      std::string name = value_of("--values=");
+      if (name == "scalar") {
+        opt->value_kernel = ScanKernel::kScalar;
+      } else if (name == "simd") {
+        opt->value_kernel = ScanKernel::kSimd;
+      } else {
+        std::fprintf(stderr, "unknown value kernel: %s\n", name.c_str());
         return false;
       }
     } else if (arg.rfind("--", 0) != 0) {
@@ -186,7 +202,8 @@ int RunAs(const CliOptions& opt, const std::string& text,
                    EngineOptions{.num_threads = opt.threads,
                                  .scheduler = opt.scheduler,
                                  .index_kind = opt.index_kind,
-                                 .scan_kernel = opt.scan_kernel});
+                                 .scan_kernel = opt.scan_kernel,
+                                 .value_kernel = opt.value_kernel});
   EvalResult<P> result = [&] {
     if constexpr (CompleteDistributiveDioid<P>) {
       if (opt.seminaive) return engine.SemiNaive(opt.max_steps);
@@ -219,7 +236,7 @@ int main(int argc, char** argv) {
                  "[--edb P=FILE]... [--bedb P=FILE]... [--seminaive] "
                  "[--advise] [--max-steps=N] [--threads=N] "
                  "[--scheduler=sweep|ordered] [--index=hash|direct|auto] "
-                 "[--scan=scalar|simd]\n"
+                 "[--scan=scalar|simd] [--values=scalar|simd]\n"
                  "semirings: bool nat trop tropnat fuzzy viterbi\n");
     return 1;
   }

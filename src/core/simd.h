@@ -23,6 +23,7 @@
 #ifndef DATALOGO_CORE_SIMD_H_
 #define DATALOGO_CORE_SIMD_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <vector>
@@ -50,6 +51,20 @@ inline ScanKernel DefaultScanKernel() {
     const char* v = std::getenv("DATALOGO_SCAN");
     if (v != nullptr && v[0] == 's' && v[1] == 'c') return ScanKernel::kScalar;
     return ScanKernel::kSimd;
+  }();
+  return kDefault;
+}
+
+/// The process-wide default semiring value-plane kernel:
+/// DATALOGO_VALUES=scalar|simd overrides (read once); otherwise the value
+/// plane follows the scan kernel — it only ever runs inside the batched
+/// join, so there is no point vectorizing values under a scalar join.
+inline ScanKernel DefaultValueKernel() {
+  static const ScanKernel kDefault = [] {
+    const char* v = std::getenv("DATALOGO_VALUES");
+    if (v != nullptr && v[0] == 's' && v[1] == 'c') return ScanKernel::kScalar;
+    if (v != nullptr && v[0] == 's' && v[1] == 'i') return ScanKernel::kSimd;
+    return DefaultScanKernel();
   }();
   return kDefault;
 }
@@ -452,6 +467,424 @@ inline uint32_t CompressRowIds(const uint32_t* rows, uint32_t mask,
     mask &= mask - 1;
   }
   return count;
+}
+
+// ------------------------------------------------------------------
+// Value-plane kernels. The batched join kernel's *value* twin: gather a
+// survivor batch's semiring values, apply ⊗ against one loop-invariant
+// accumulator, and fold ⊕ elementwise. Which kernel implements which
+// semiring op is declared per semiring in semiring/simd_traits.h; the
+// kernels themselves are plain typed arithmetic with the column-scan
+// contract (runtime-selectable scalar reference, scalar tails,
+// bit-identical outputs across kernels).
+//
+// Exactness notes, load-bearing for the engine's determinism pins:
+//  * f64 add/mul lanes are the same IEEE operations as the scalar
+//    expressions — bit-identical per element, no reassociation.
+//  * MinF64/MaxF64 replicate std::min/std::max tie behaviour exactly
+//    (ties — including ±0.0 — return the FIRST operand) by swapping the
+//    operands of the hardware min/max, which return the second operand
+//    on ties.
+//  * The u64 kernels saturate exactly like NatS::Plus / TropNatS::Times
+//    (kInf = UINT64_MAX absorbs through wrap-around + clamp). SSE2 has
+//    no 64-bit compares, so their kSimd path is vectorized on AVX2 only
+//    and falls back to the scalar loop elsewhere — still batched, still
+//    bit-identical.
+
+// GatherF64: out[i] = col[rows[i]] — value-column decode over a row-id
+// batch (the f64 sibling of GatherU32).
+
+inline void GatherF64Scalar(const double* col, const uint32_t* rows,
+                            uint32_t n, double* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = col[rows[i]];
+}
+
+inline void GatherF64(const double* col, const uint32_t* rows, uint32_t n,
+                      ScanKernel k, double* out) {
+  if (k == ScanKernel::kScalar) {
+    GatherF64Scalar(col, rows, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    __m256d v = _mm256_i32gather_pd(col, idx, 8);
+    _mm256_storeu_pd(out + i, v);
+  }
+#else
+  // No hardware gather below AVX2: four independent loads per step so
+  // the load ports pipeline them (same shape as GatherU32).
+  for (; i + 4 <= n; i += 4) {
+    out[i + 0] = col[rows[i + 0]];
+    out[i + 1] = col[rows[i + 1]];
+    out[i + 2] = col[rows[i + 2]];
+    out[i + 3] = col[rows[i + 3]];
+  }
+#endif
+  for (; i < n; ++i) out[i] = col[rows[i]];
+}
+
+// AddScalarF64 / MulScalarF64: out[i] = acc ⊗ vals[i] for the f64
+// semirings whose ⊗ is + (Trop) or × (R+/Viterbi), acc loop-invariant.
+
+inline void AddScalarF64Scalar(double acc, const double* vals, uint32_t n,
+                               double* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = acc + vals[i];
+}
+
+inline void AddScalarF64(double acc, const double* vals, uint32_t n,
+                         ScanKernel k, double* out) {
+  if (k == ScanKernel::kScalar) {
+    AddScalarF64Scalar(acc, vals, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  const __m256d av = _mm256_set1_pd(acc);
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_add_pd(av, _mm256_loadu_pd(vals + i)));
+  }
+#elif defined(__SSE2__)
+  const __m128d av = _mm_set1_pd(acc);
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, _mm_add_pd(av, _mm_loadu_pd(vals + i)));
+  }
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && defined(__aarch64__)
+  const float64x2_t av = vdupq_n_f64(acc);
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vaddq_f64(av, vld1q_f64(vals + i)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = acc + vals[i];
+}
+
+inline void MulScalarF64Scalar(double acc, const double* vals, uint32_t n,
+                               double* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = acc * vals[i];
+}
+
+inline void MulScalarF64(double acc, const double* vals, uint32_t n,
+                         ScanKernel k, double* out) {
+  if (k == ScanKernel::kScalar) {
+    MulScalarF64Scalar(acc, vals, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  const __m256d av = _mm256_set1_pd(acc);
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(av, _mm256_loadu_pd(vals + i)));
+  }
+#elif defined(__SSE2__)
+  const __m128d av = _mm_set1_pd(acc);
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, _mm_mul_pd(av, _mm_loadu_pd(vals + i)));
+  }
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && defined(__aarch64__)
+  const float64x2_t av = vdupq_n_f64(acc);
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vmulq_f64(av, vld1q_f64(vals + i)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = acc * vals[i];
+}
+
+// MinF64 / MaxF64: out[i] = std::min/max(a[i], b[i]) — elementwise ⊕
+// for min-plus/max-plus f64 dioids. Hardware min/max return the SECOND
+// operand on ties (x < y ? x : y), std::min returns the FIRST, so the
+// vector ops take (b, a): min_pd(b, a) = b < a ? b : a = std::min(a, b)
+// bit-for-bit, ±0.0 included. No NaN can reach these: stored values are
+// finite (∞ = ⊥ is never stored) and accumulators are finite products.
+
+inline void MinF64Scalar(const double* a, const double* b, uint32_t n,
+                         double* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = std::min(a[i], b[i]);
+}
+
+inline void MinF64(const double* a, const double* b, uint32_t n, ScanKernel k,
+                   double* out) {
+  if (k == ScanKernel::kScalar) {
+    MinF64Scalar(a, b, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_min_pd(_mm256_loadu_pd(b + i),
+                                            _mm256_loadu_pd(a + i)));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, _mm_min_pd(_mm_loadu_pd(b + i),
+                                      _mm_loadu_pd(a + i)));
+  }
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && defined(__aarch64__)
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t va = vld1q_f64(a + i);
+    float64x2_t vb = vld1q_f64(b + i);
+    // b < a ? b : a — explicit select for std::min tie behaviour.
+    vst1q_f64(out + i, vbslq_f64(vcltq_f64(vb, va), vb, va));
+  }
+#endif
+  for (; i < n; ++i) out[i] = std::min(a[i], b[i]);
+}
+
+inline void MaxF64Scalar(const double* a, const double* b, uint32_t n,
+                         double* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = std::max(a[i], b[i]);
+}
+
+inline void MaxF64(const double* a, const double* b, uint32_t n, ScanKernel k,
+                   double* out) {
+  if (k == ScanKernel::kScalar) {
+    MaxF64Scalar(a, b, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_max_pd(_mm256_loadu_pd(b + i),
+                                            _mm256_loadu_pd(a + i)));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, _mm_max_pd(_mm_loadu_pd(b + i),
+                                      _mm_loadu_pd(a + i)));
+  }
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && defined(__aarch64__)
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t va = vld1q_f64(a + i);
+    float64x2_t vb = vld1q_f64(b + i);
+    // a < b ? b : a — std::max returns the first operand on ties.
+    vst1q_f64(out + i, vbslq_f64(vcltq_f64(va, vb), vb, va));
+  }
+#endif
+  for (; i < n; ++i) out[i] = std::max(a[i], b[i]);
+}
+
+// AddF64: out[i] = a[i] + b[i] — elementwise ⊕ for the float-sum
+// semirings (R+). Elementwise-exact, but FOLDING through it reassociates
+// — which is why simd_traits marks R+ kExactPlusFold = false.
+
+inline void AddF64Scalar(const double* a, const double* b, uint32_t n,
+                         double* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+inline void AddF64(const double* a, const double* b, uint32_t n, ScanKernel k,
+                   double* out) {
+  if (k == ScanKernel::kScalar) {
+    AddF64Scalar(a, b, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+#elif defined(__SSE2__)
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, _mm_add_pd(_mm_loadu_pd(a + i),
+                                      _mm_loadu_pd(b + i)));
+  }
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && defined(__aarch64__)
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+// SatAddScalarU64 / SatAddU64: saturating u64 add with UINT64_MAX as
+// the absorbing ∞ — exactly NatS::Plus / TropNatS::Times, including the
+// ∞ cases, because wrap-around + clamp reproduces them: ∞ + x wraps
+// below the addend and clamps back to ∞. Vector path on AVX2 only (64-
+// bit compares); SSE2/NEON run the batched scalar loop.
+
+inline void SatAddScalarU64Scalar(uint64_t acc, const uint64_t* vals,
+                                  uint32_t n, uint64_t* out) {
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t s = acc + vals[i];
+    out[i] = s < acc ? ~uint64_t{0} : s;
+  }
+}
+
+inline void SatAddScalarU64(uint64_t acc, const uint64_t* vals, uint32_t n,
+                            ScanKernel k, uint64_t* out) {
+  if (k == ScanKernel::kScalar) {
+    SatAddScalarU64Scalar(acc, vals, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  const __m256i av = _mm256_set1_epi64x(static_cast<long long>(acc));
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i ab = _mm256_xor_si256(av, bias);
+  for (; i + 4 <= n; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    __m256i s = _mm256_add_epi64(av, v);
+    // Unsigned s < acc (overflow) via sign-biased signed compare; the
+    // all-ones overflow lanes OR straight to UINT64_MAX.
+    __m256i ov = _mm256_cmpgt_epi64(ab, _mm256_xor_si256(s, bias));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(s, ov));
+  }
+#endif
+  for (; i < n; ++i) {
+    uint64_t s = acc + vals[i];
+    out[i] = s < acc ? ~uint64_t{0} : s;
+  }
+}
+
+inline void SatAddU64Scalar(const uint64_t* a, const uint64_t* b, uint32_t n,
+                            uint64_t* out) {
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t s = a[i] + b[i];
+    out[i] = s < a[i] ? ~uint64_t{0} : s;
+  }
+}
+
+inline void SatAddU64(const uint64_t* a, const uint64_t* b, uint32_t n,
+                      ScanKernel k, uint64_t* out) {
+  if (k == ScanKernel::kScalar) {
+    SatAddU64Scalar(a, b, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i s = _mm256_add_epi64(va, vb);
+    __m256i ov = _mm256_cmpgt_epi64(_mm256_xor_si256(va, bias),
+                                    _mm256_xor_si256(s, bias));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(s, ov));
+  }
+#endif
+  for (; i < n; ++i) {
+    uint64_t s = a[i] + b[i];
+    out[i] = s < a[i] ? ~uint64_t{0} : s;
+  }
+}
+
+// MinU64: out[i] = std::min(a[i], b[i]) — ⊕ of the u64 min-plus dioid
+// (TropN). Ties return the first operand, matching std::min.
+
+inline void MinU64Scalar(const uint64_t* a, const uint64_t* b, uint32_t n,
+                         uint64_t* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = std::min(a[i], b[i]);
+}
+
+inline void MinU64(const uint64_t* a, const uint64_t* b, uint32_t n,
+                   ScanKernel k, uint64_t* out) {
+  if (k == ScanKernel::kScalar) {
+    MinU64Scalar(a, b, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // b < a ? b : a — unsigned via sign bias; blendv picks b where set.
+    __m256i lt = _mm256_cmpgt_epi64(_mm256_xor_si256(va, bias),
+                                    _mm256_xor_si256(vb, bias));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_blendv_epi8(va, vb, lt));
+  }
+#endif
+  for (; i < n; ++i) out[i] = std::min(a[i], b[i]);
+}
+
+// AndScalarU8 / OrU8: byte-wise ⊗/⊕ of the Boolean semiring over its
+// 0/1 value bytes (B stores bool values; vector<ValueCell<bool>> is one
+// byte per row).
+
+inline void AndScalarU8Scalar(uint8_t acc, const uint8_t* vals, uint32_t n,
+                              uint8_t* out) {
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(acc & vals[i]);
+  }
+}
+
+inline void AndScalarU8(uint8_t acc, const uint8_t* vals, uint32_t n,
+                        ScanKernel k, uint8_t* out) {
+  if (k == ScanKernel::kScalar) {
+    AndScalarU8Scalar(acc, vals, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  const __m256i av = _mm256_set1_epi8(static_cast<char>(acc));
+  for (; i + 32 <= n; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(av, v));
+  }
+#elif defined(__SSE2__)
+  const __m128i av = _mm_set1_epi8(static_cast<char>(acc));
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_and_si128(av, v));
+  }
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  const uint8x16_t av = vdupq_n_u8(acc);
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(out + i, vandq_u8(av, vld1q_u8(vals + i)));
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(acc & vals[i]);
+  }
+}
+
+inline void OrU8Scalar(const uint8_t* a, const uint8_t* b, uint32_t n,
+                       uint8_t* out) {
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(a[i] | b[i]);
+  }
+}
+
+inline void OrU8(const uint8_t* a, const uint8_t* b, uint32_t n, ScanKernel k,
+                 uint8_t* out) {
+  if (k == ScanKernel::kScalar) {
+    OrU8Scalar(a, b, n, out);
+    return;
+  }
+  uint32_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 32 <= n; i += 32) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(va, vb));
+  }
+#elif defined(__SSE2__)
+  for (; i + 16 <= n; i += 16) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_or_si128(va, vb));
+  }
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(out + i, vorrq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(a[i] | b[i]);
+  }
 }
 
 }  // namespace simd

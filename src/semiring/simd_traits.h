@@ -1,0 +1,185 @@
+// SemiringSimdTraits specializations: the vectorized value plane for the
+// POD-carrier semirings. Each specialization maps the semiring's ⊗ (with
+// a loop-invariant left accumulator) and elementwise ⊕ onto the typed
+// kernels in core/simd.h, plus a raw gather over its value column. The
+// exactness contract (traits.h): every kernel must equal the definitional
+// scalar loops TimesScalarVecRef / PlusVecRef below bit-for-bit on every
+// element — differential-tested in simd_value_test over all tail lengths.
+//
+// Which semirings opt in and why the mapping is exact:
+//  * Trop+ (f64 min-plus): ⊗ is IEEE double +, ⊕ is std::min — the same
+//    hardware operations per lane, tie order preserved by operand swap.
+//  * TropN (u64 min-plus): ⊗ is saturating add (wrap + clamp reproduces
+//    the kInf cases exactly), ⊕ is u64 min.
+//  * B (bool): ⊗ with a fixed accumulator is copy-or-clear, ⊕ is byte or.
+//  * N (u64 counting): ⊕ is saturating add; ⊗ is saturating multiply,
+//    kept as a batched scalar loop with the accumulator's zero/∞/overflow
+//    threshold hoisted out (no portable u64 vector multiply exists) —
+//    still bit-identical to P::Times per element.
+//  * R+ (f64 sum-product): ⊗/⊕ are IEEE ×/+ per lane; exact elementwise,
+//    but kExactPlusFold is FALSE — folding float sums reassociates.
+// Everything else (lifted, product, provenance, …) keeps the primary
+// template's kVectorized = false and never reaches these paths.
+#ifndef DATALOGO_SEMIRING_SIMD_TRAITS_H_
+#define DATALOGO_SEMIRING_SIMD_TRAITS_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/core/simd.h"
+#include "src/semiring/boolean.h"
+#include "src/semiring/naturals.h"
+#include "src/semiring/reals.h"
+#include "src/semiring/traits.h"
+#include "src/semiring/tropical.h"
+
+namespace datalogo {
+
+/// The definitional scalar references: what every trait kernel must
+/// reproduce bit-for-bit. These are the differential-test anchors; the
+/// engine never calls them (the trait kernels' kScalar branches are the
+/// same loops, expressed over the concrete carrier).
+template <typename P>
+void TimesScalarVecRef(const typename P::Value& acc,
+                       const typename P::Value* vals, uint32_t n,
+                       typename P::Value* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = P::Times(acc, vals[i]);
+}
+template <typename P>
+void PlusVecRef(const typename P::Value* a, const typename P::Value* b,
+                uint32_t n, typename P::Value* out) {
+  for (uint32_t i = 0; i < n; ++i) out[i] = P::Plus(a[i], b[i]);
+}
+
+template <>
+struct SemiringSimdTraits<TropS> {
+  static constexpr bool kVectorized = true;
+  static constexpr bool kExactPlusFold = true;  // min is associative
+  static constexpr const char* kFamily = "trop-f64";
+  static void GatherVals(const double* col, const uint32_t* rows, uint32_t n,
+                         ScanKernel k, double* out) {
+    simd::GatherF64(col, rows, n, k, out);
+  }
+  static void TimesScalarVec(double acc, const double* vals, uint32_t n,
+                             ScanKernel k, double* out) {
+    simd::AddScalarF64(acc, vals, n, k, out);
+  }
+  static void PlusVec(const double* a, const double* b, uint32_t n,
+                      ScanKernel k, double* out) {
+    simd::MinF64(a, b, n, k, out);
+  }
+};
+
+template <>
+struct SemiringSimdTraits<TropNatS> {
+  static constexpr bool kVectorized = true;
+  static constexpr bool kExactPlusFold = true;  // u64 min is associative
+  static constexpr const char* kFamily = "tropn-u64";
+  static void GatherVals(const uint64_t* col, const uint32_t* rows,
+                         uint32_t n, ScanKernel k, uint64_t* out) {
+    (void)k;  // no portable u64 gather below AVX-512; pipelined loads
+    for (uint32_t i = 0; i + 4 <= n; i += 4) {
+      out[i + 0] = col[rows[i + 0]];
+      out[i + 1] = col[rows[i + 1]];
+      out[i + 2] = col[rows[i + 2]];
+      out[i + 3] = col[rows[i + 3]];
+    }
+    for (uint32_t i = n & ~3u; i < n; ++i) out[i] = col[rows[i]];
+  }
+  static void TimesScalarVec(uint64_t acc, const uint64_t* vals, uint32_t n,
+                             ScanKernel k, uint64_t* out) {
+    simd::SatAddScalarU64(acc, vals, n, k, out);
+  }
+  static void PlusVec(const uint64_t* a, const uint64_t* b, uint32_t n,
+                      ScanKernel k, uint64_t* out) {
+    simd::MinU64(a, b, n, k, out);
+  }
+};
+
+template <>
+struct SemiringSimdTraits<BoolS> {
+  static constexpr bool kVectorized = true;
+  static constexpr bool kExactPlusFold = true;  // ∨ is associative
+  static constexpr const char* kFamily = "bool-u8";
+  static void GatherVals(const bool* col, const uint32_t* rows, uint32_t n,
+                         ScanKernel k, bool* out) {
+    (void)k;
+    for (uint32_t i = 0; i < n; ++i) out[i] = col[rows[i]];
+  }
+  static void TimesScalarVec(bool acc, const bool* vals, uint32_t n,
+                             ScanKernel k, bool* out) {
+    // true ∧ v = v; false ∧ v = false — copy or clear, kernel-free.
+    (void)k;
+    if (acc) {
+      std::memcpy(out, vals, n);
+    } else {
+      std::memset(out, 0, n);
+    }
+  }
+  static void PlusVec(const bool* a, const bool* b, uint32_t n, ScanKernel k,
+                      bool* out) {
+    simd::OrU8(reinterpret_cast<const uint8_t*>(a),
+               reinterpret_cast<const uint8_t*>(b), n, k,
+               reinterpret_cast<uint8_t*>(out));
+  }
+};
+
+template <>
+struct SemiringSimdTraits<NatS> {
+  static constexpr bool kVectorized = true;
+  // Saturating add is exactly associative: any chain that overflows
+  // saturates to kInf in every association, and kInf absorbs.
+  static constexpr bool kExactPlusFold = true;
+  static constexpr const char* kFamily = "nat-u64";
+  static void GatherVals(const uint64_t* col, const uint32_t* rows,
+                         uint32_t n, ScanKernel k, uint64_t* out) {
+    SemiringSimdTraits<TropNatS>::GatherVals(col, rows, n, k, out);
+  }
+  static void TimesScalarVec(uint64_t acc, const uint64_t* vals, uint32_t n,
+                             ScanKernel k, uint64_t* out) {
+    (void)k;  // no u64 vector multiply; batched scalar with hoisted acc
+    constexpr uint64_t kInf = NatS::kInf;
+    if (acc == 0) {
+      for (uint32_t i = 0; i < n; ++i) out[i] = 0;
+      return;
+    }
+    if (acc == kInf) {
+      for (uint32_t i = 0; i < n; ++i) out[i] = vals[i] == 0 ? 0 : kInf;
+      return;
+    }
+    const uint64_t thresh = kInf / acc;  // v > thresh ⇒ acc·v saturates
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t v = vals[i];
+      out[i] = v == 0 ? 0 : (v > thresh ? kInf : acc * v);
+    }
+  }
+  static void PlusVec(const uint64_t* a, const uint64_t* b, uint32_t n,
+                      ScanKernel k, uint64_t* out) {
+    simd::SatAddU64(a, b, n, k, out);
+  }
+};
+
+template <>
+struct SemiringSimdTraits<RealPlusS> {
+  static constexpr bool kVectorized = true;
+  // Elementwise ⊗/⊕ are exact, but float sums reassociate when folded:
+  // the engine must keep one Merge per emitted row for R+.
+  static constexpr bool kExactPlusFold = false;
+  static constexpr const char* kFamily = "real-f64";
+  static void GatherVals(const double* col, const uint32_t* rows, uint32_t n,
+                         ScanKernel k, double* out) {
+    simd::GatherF64(col, rows, n, k, out);
+  }
+  static void TimesScalarVec(double acc, const double* vals, uint32_t n,
+                             ScanKernel k, double* out) {
+    simd::MulScalarF64(acc, vals, n, k, out);
+  }
+  static void PlusVec(const double* a, const double* b, uint32_t n,
+                      ScanKernel k, double* out) {
+    simd::AddF64(a, b, n, k, out);
+  }
+};
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_SIMD_TRAITS_H_

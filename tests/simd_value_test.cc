@@ -1,0 +1,309 @@
+// The vectorized value plane vs its scalar definitions, at two layers.
+// Layer 1: every typed ⊗/⊕ kernel in src/core/simd.h against its scalar
+// reference twin, bit-for-bit, over tail lengths 0..2×lane-width plus a
+// few (crossing every vector-body/scalar-tail split) and adversarial
+// contents — ±0.0 in both operand orders (hardware min/max return the
+// SECOND operand on ties; std::min/std::max return the FIRST, so an
+// unswapped kernel flips the sign bit), ±∞, u64 values that straddle the
+// signed-compare bias, saturation boundaries at UINT64_MAX. Layer 2:
+// every SemiringSimdTraits specialization against the definitional
+// TimesScalarVecRef/PlusVecRef loops over P::Times/P::Plus — the
+// exactness contract the engine's cross-kernel determinism pins rest on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "src/core/simd.h"
+#include "src/semiring/boolean.h"
+#include "src/semiring/naturals.h"
+#include "src/semiring/reals.h"
+#include "src/semiring/simd_traits.h"
+#include "src/semiring/tropical.h"
+
+namespace datalogo {
+namespace {
+
+constexpr uint32_t kMaxN = 19;  // > 2 × any shipped lane width + 3
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+// Doubles compare as bit patterns: EXPECT_EQ(-0.0, 0.0) passes, but the
+// engine's goldens (and the relation hash) see the bytes.
+void ExpectBitsEq(const double* ref, const double* got, uint32_t n,
+                  const char* what) {
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t rb, gb;
+    std::memcpy(&rb, &ref[i], sizeof rb);
+    std::memcpy(&gb, &got[i], sizeof gb);
+    EXPECT_EQ(rb, gb) << what << " lane " << i << " of " << n << ": "
+                      << ref[i] << " vs " << got[i];
+  }
+}
+
+double AdversarialF64(std::mt19937& rng, int variant) {
+  switch (variant) {
+    case 0:  // plain magnitudes
+      return static_cast<double>(rng() % 1000) * 0.25;
+    case 1:  // signed zeros, both signs
+      return rng() % 2 ? 0.0 : -0.0;
+    case 2:  // infinities mixed with finite values
+      switch (rng() % 4) {
+        case 0: return kPosInf;
+        case 1: return -kPosInf;
+        default: return static_cast<double>(rng() % 7) - 3.0;
+      }
+    default:  // denormal-scale and huge values
+      return rng() % 2 ? 1e-310 : 1e300;
+  }
+}
+
+uint64_t AdversarialU64(std::mt19937& rng, int variant) {
+  switch (variant) {
+    case 0:  // small counts
+      return rng() % 16;
+    case 1:  // straddle the sign bit (signed-compare bias surface)
+      return (uint64_t{1} << 63) + rng() % 1024 - 512;
+    case 2:  // saturation boundary
+      switch (rng() % 3) {
+        case 0: return UINT64_MAX;
+        case 1: return UINT64_MAX - rng() % 8;
+        default: return rng() % 8;
+      }
+    default:  // full-range random
+      return (uint64_t{rng()} << 32) | rng();
+  }
+}
+
+TEST(SimdValue, GatherF64MatchesScalarOverAllTailLengths) {
+  std::mt19937 rng(0x6F64A11);
+  std::vector<double> col(256);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    col[i] = AdversarialF64(rng, static_cast<int>(i % 4));
+  }
+  for (uint32_t n = 0; n <= kMaxN; ++n) {
+    std::vector<uint32_t> rows(n);
+    for (auto& r : rows) r = rng() % col.size();
+    std::vector<double> ref(n, 0), got(n, 0), via_switch(n, 0);
+    simd::GatherF64Scalar(col.data(), rows.data(), n, ref.data());
+    simd::GatherF64(col.data(), rows.data(), n, ScanKernel::kSimd,
+                    got.data());
+    ExpectBitsEq(ref.data(), got.data(), n, "GatherF64");
+    simd::GatherF64(col.data(), rows.data(), n, ScanKernel::kScalar,
+                    via_switch.data());
+    ExpectBitsEq(ref.data(), via_switch.data(), n, "GatherF64/switch");
+  }
+}
+
+TEST(SimdValue, ScalarAccumulatorF64KernelsMatchScalar) {
+  std::mt19937 rng(0xACC0F64);
+  for (uint32_t n = 0; n <= kMaxN; ++n) {
+    for (int variant = 0; variant < 4; ++variant) {
+      std::vector<double> vals(n);
+      for (auto& v : vals) v = AdversarialF64(rng, variant);
+      for (double acc : {0.0, -0.0, 1.5, kPosInf, -kPosInf}) {
+        std::vector<double> ref(n, 0), got(n, 0);
+        simd::AddScalarF64Scalar(acc, vals.data(), n, ref.data());
+        simd::AddScalarF64(acc, vals.data(), n, ScanKernel::kSimd,
+                           got.data());
+        ExpectBitsEq(ref.data(), got.data(), n, "AddScalarF64");
+        simd::MulScalarF64Scalar(acc, vals.data(), n, ref.data());
+        simd::MulScalarF64(acc, vals.data(), n, ScanKernel::kSimd,
+                           got.data());
+        ExpectBitsEq(ref.data(), got.data(), n, "MulScalarF64");
+      }
+    }
+  }
+}
+
+TEST(SimdValue, ElementwiseF64KernelsMatchScalarIncludingTies) {
+  std::mt19937 rng(0xE1E3F64);
+  for (uint32_t n = 0; n <= kMaxN; ++n) {
+    for (int variant = 0; variant < 4; ++variant) {
+      std::vector<double> a(n), b(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        a[i] = AdversarialF64(rng, variant);
+        // Force frequent exact ties (same value, and ±0.0 pairs in both
+        // orders): the operand-order surface for min/max.
+        b[i] = rng() % 3 == 0 ? a[i] : AdversarialF64(rng, variant);
+        if (variant == 1 && rng() % 2) b[i] = -a[i];
+      }
+      std::vector<double> ref(n, 0), got(n, 0);
+      simd::MinF64Scalar(a.data(), b.data(), n, ref.data());
+      simd::MinF64(a.data(), b.data(), n, ScanKernel::kSimd, got.data());
+      ExpectBitsEq(ref.data(), got.data(), n, "MinF64");
+      simd::MaxF64Scalar(a.data(), b.data(), n, ref.data());
+      simd::MaxF64(a.data(), b.data(), n, ScanKernel::kSimd, got.data());
+      ExpectBitsEq(ref.data(), got.data(), n, "MaxF64");
+      simd::AddF64Scalar(a.data(), b.data(), n, ref.data());
+      simd::AddF64(a.data(), b.data(), n, ScanKernel::kSimd, got.data());
+      ExpectBitsEq(ref.data(), got.data(), n, "AddF64");
+    }
+  }
+}
+
+TEST(SimdValue, SaturatingU64KernelsMatchScalar) {
+  std::mt19937 rng(0x5A7A64);
+  for (uint32_t n = 0; n <= kMaxN; ++n) {
+    for (int variant = 0; variant < 4; ++variant) {
+      std::vector<uint64_t> a(n), b(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        a[i] = AdversarialU64(rng, variant);
+        b[i] = AdversarialU64(rng, variant);
+      }
+      std::vector<uint64_t> ref(n, 0), got(n, 0);
+      simd::SatAddU64Scalar(a.data(), b.data(), n, ref.data());
+      simd::SatAddU64(a.data(), b.data(), n, ScanKernel::kSimd, got.data());
+      EXPECT_EQ(ref, got) << "SatAddU64 n=" << n << " variant=" << variant;
+      simd::MinU64Scalar(a.data(), b.data(), n, ref.data());
+      simd::MinU64(a.data(), b.data(), n, ScanKernel::kSimd, got.data());
+      EXPECT_EQ(ref, got) << "MinU64 n=" << n << " variant=" << variant;
+      for (uint64_t acc : {uint64_t{0}, uint64_t{3}, UINT64_MAX - 2,
+                           UINT64_MAX}) {
+        simd::SatAddScalarU64Scalar(acc, a.data(), n, ref.data());
+        simd::SatAddScalarU64(acc, a.data(), n, ScanKernel::kSimd,
+                              got.data());
+        EXPECT_EQ(ref, got) << "SatAddScalarU64 n=" << n << " acc=" << acc;
+      }
+    }
+  }
+}
+
+TEST(SimdValue, ByteKernelsMatchScalar) {
+  std::mt19937 rng(0xB17E5);
+  for (uint32_t n = 0; n <= 2 * simd::kLanes8 + 3; ++n) {
+    std::vector<uint8_t> a(n), b(n);
+    // Nominally 0/1, but the kernels must preserve arbitrary bytes.
+    for (uint32_t i = 0; i < n; ++i) {
+      a[i] = static_cast<uint8_t>(rng() % 2 ? rng() % 256 : 0);
+      b[i] = static_cast<uint8_t>(rng() % 2 ? rng() % 256 : 0);
+    }
+    std::vector<uint8_t> ref(n, 0), got(n, 0);
+    simd::OrU8Scalar(a.data(), b.data(), n, ref.data());
+    simd::OrU8(a.data(), b.data(), n, ScanKernel::kSimd, got.data());
+    EXPECT_EQ(ref, got) << "OrU8 n=" << n;
+    for (uint8_t acc : {uint8_t{0}, uint8_t{1}, uint8_t{0xFF}}) {
+      simd::AndScalarU8Scalar(acc, a.data(), n, ref.data());
+      simd::AndScalarU8(acc, a.data(), n, ScanKernel::kSimd, got.data());
+      EXPECT_EQ(ref, got) << "AndScalarU8 n=" << n << " acc=" << int{acc};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: trait kernels vs the definitional P::Times / P::Plus loops.
+// Fixed-size carrier arrays sidestep std::vector<bool>.
+
+template <typename P, typename MakeVal, typename MakeAcc>
+void TraitMatchesDefinitionalRef(MakeVal make_val, MakeAcc make_acc,
+                                 uint32_t seed) {
+  using Traits = SemiringSimdTraits<P>;
+  using Value = typename P::Value;
+  static_assert(Traits::kVectorized);
+  std::mt19937 rng(seed);
+  for (ScanKernel k : {ScanKernel::kScalar, ScanKernel::kSimd}) {
+    for (uint32_t n = 0; n <= kMaxN; ++n) {
+      for (int round = 0; round < 8; ++round) {
+        Value vals[kMaxN + 1], a[kMaxN + 1], b[kMaxN + 1];
+        Value ref[kMaxN + 1], got[kMaxN + 1];
+        for (uint32_t i = 0; i < n; ++i) {
+          vals[i] = make_val(rng);
+          a[i] = make_val(rng);
+          b[i] = rng() % 3 == 0 ? a[i] : make_val(rng);
+        }
+        const Value acc = make_acc(rng, round);
+        TimesScalarVecRef<P>(acc, vals, n, ref);
+        Traits::TimesScalarVec(acc, vals, n, k, got);
+        for (uint32_t i = 0; i < n; ++i) {
+          EXPECT_EQ(0, std::memcmp(&ref[i], &got[i], sizeof(Value)))
+              << P::kName << " TimesScalarVec lane " << i << " n=" << n
+              << " kernel=" << (k == ScanKernel::kSimd ? "simd" : "scalar");
+        }
+        PlusVecRef<P>(a, b, n, ref);
+        Traits::PlusVec(a, b, n, k, got);
+        for (uint32_t i = 0; i < n; ++i) {
+          EXPECT_EQ(0, std::memcmp(&ref[i], &got[i], sizeof(Value)))
+              << P::kName << " PlusVec lane " << i << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdValueTraits, TropMatchesDefinitionalRef) {
+  // ⊗-accumulators cycle through 1 = 0.0, finite weights and 0 = ∞;
+  // values include signed zeros (⊕ tie order) and ∞ (annihilator).
+  TraitMatchesDefinitionalRef<TropS>(
+      [](std::mt19937& rng) { return AdversarialF64(rng, rng() % 3); },
+      [](std::mt19937& rng, int round) {
+        return round % 3 == 0 ? TropS::One()
+               : round % 3 == 1 ? TropS::Zero()
+                                : static_cast<double>(rng() % 50) * 0.5;
+      },
+      0x7407);
+}
+
+TEST(SimdValueTraits, TropNatMatchesDefinitionalRef) {
+  TraitMatchesDefinitionalRef<TropNatS>(
+      [](std::mt19937& rng) { return AdversarialU64(rng, rng() % 4); },
+      [](std::mt19937& rng, int round) {
+        return round % 3 == 0 ? TropNatS::One()
+               : round % 3 == 1 ? TropNatS::kInf
+                                : uint64_t{rng() % 1000};
+      },
+      0x7404A7);
+}
+
+TEST(SimdValueTraits, BoolMatchesDefinitionalRef) {
+  TraitMatchesDefinitionalRef<BoolS>(
+      [](std::mt19937& rng) { return rng() % 2 == 0; },
+      [](std::mt19937&, int round) { return round % 2 == 0; }, 0xB001);
+}
+
+TEST(SimdValueTraits, NatMatchesDefinitionalRef) {
+  // The saturating-multiply threshold hoist must reproduce N::Times
+  // exactly at 0, ∞, and on both sides of every overflow boundary.
+  TraitMatchesDefinitionalRef<NatS>(
+      [](std::mt19937& rng) { return AdversarialU64(rng, rng() % 4); },
+      [](std::mt19937& rng, int round) {
+        switch (round % 5) {
+          case 0: return uint64_t{0};
+          case 1: return NatS::kInf;
+          case 2: return uint64_t{1} << 32;  // overflows against 2^32 vals
+          case 3: return UINT64_MAX - 1;
+          default: return uint64_t{rng() % 100};
+        }
+      },
+      0x4A7);
+}
+
+TEST(SimdValueTraits, RealPlusMatchesDefinitionalRef) {
+  TraitMatchesDefinitionalRef<RealPlusS>(
+      [](std::mt19937& rng) { return AdversarialF64(rng, rng() % 4); },
+      [](std::mt19937& rng, int round) {
+        return round % 3 == 0 ? RealPlusS::One()
+               : round % 3 == 1 ? RealPlusS::Zero()
+                                : AdversarialF64(rng, 0);
+      },
+      0x4EA1);
+}
+
+TEST(SimdValueTraits, OptInSetIsExactlyThePodCarriers) {
+  static_assert(SemiringSimdTraits<TropS>::kVectorized);
+  static_assert(SemiringSimdTraits<TropNatS>::kVectorized);
+  static_assert(SemiringSimdTraits<BoolS>::kVectorized);
+  static_assert(SemiringSimdTraits<NatS>::kVectorized);
+  static_assert(SemiringSimdTraits<RealPlusS>::kVectorized);
+  // Trait-less semirings keep the primary template: the engine's value
+  // plane must be unreachable for them.
+  static_assert(!SemiringSimdTraits<MaxPlusS>::kVectorized);
+  static_assert(!SemiringSimdTraits<ViterbiS>::kVectorized);
+  // Float sums reassociate: R+ must never license ⊕-coalescing.
+  static_assert(!SemiringSimdTraits<RealPlusS>::kExactPlusFold);
+  static_assert(SemiringSimdTraits<TropS>::kExactPlusFold);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace datalogo
