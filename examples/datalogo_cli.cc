@@ -4,11 +4,19 @@
 //       --edb E=edges.tsv --bedb G=flags.tsv [--seminaive] [--advise]
 //       [--threads=N] [--scheduler=sweep|ordered]
 //       [--index=hash|direct|auto] [--scan=scalar|simd]
-//       [--values=scalar|simd]
+//       [--values=scalar|simd] [--update=BATCH]
 //
 // Semirings: bool, nat, trop, tropnat, fuzzy, viterbi.
 // POPS EDB TSVs carry the value in the last column; Boolean EDB TSVs are
 // key-only. Results are printed as sorted TSV per IDB predicate.
+//
+// --update=BATCH runs the fixpoint silently, applies the batch through
+// Engine::Update (incremental maintenance — no full re-run), and prints
+// the maintained tables. Batch grammar, one mutation per line:
+//   + PRED key... value     insert/⊕-merge a POPS fact
+//   + PRED key...           insert a Boolean-EDB fact
+//   - PRED key...           delete a fact (either kind)
+// '#' comments and blank lines are skipped.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -47,6 +55,9 @@ struct CliOptions {
   // semiring opted into SemiringSimdTraits. Output is identical either
   // way.
   ScanKernel value_kernel = DefaultValueKernel();
+  // --update=FILE: mutation batch serviced by Engine::Update after the
+  // initial fixpoint; the printed tables are the maintained result.
+  std::string update_path;
 };
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -128,6 +139,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
         std::fprintf(stderr, "unknown value kernel: %s\n", name.c_str());
         return false;
       }
+    } else if (arg.rfind("--update=", 0) == 0) {
+      opt->update_path = value_of("--update=");
     } else if (arg.rfind("--", 0) != 0) {
       opt->program_path = arg;
     } else {
@@ -136,6 +149,65 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
     }
   }
   return !opt->program_path.empty();
+}
+
+/// Parses one --update batch file into an EdbDelta. Lines:
+///   + PRED tok... value   (POPS pred)  |  + PRED tok...   (Boolean pred)
+///   - PRED tok...
+template <Pops P, typename ParseFn>
+bool ParseUpdateBatch(const std::string& text, const Program& prog,
+                      Domain* dom, ParseFn&& parse_value,
+                      EdbDelta<P>* batch) {
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> toks = io_internal::SplitLine(line);
+    if (toks.empty()) continue;
+    auto fail = [&](const char* msg) {
+      std::fprintf(stderr, "update batch line %d: %s\n", lineno, msg);
+      return false;
+    };
+    if (toks[0] != "+" && toks[0] != "-") {
+      return fail("expected '+' or '-'");
+    }
+    const bool is_add = toks[0] == "+";
+    if (toks.size() < 2) return fail("missing predicate");
+    const int pred = prog.FindPredicate(toks[1]);
+    if (pred < 0) return fail("unknown predicate");
+    const PredKind kind = prog.predicate(pred).kind;
+    if (kind == PredKind::kIdb) return fail("IDB predicates are derived");
+    const int arity = prog.predicate(pred).arity;
+    const bool is_bool = kind == PredKind::kBoolEdb;
+    const int want = 2 + arity + (is_add && !is_bool ? 1 : 0);
+    if (static_cast<int>(toks.size()) != want) {
+      return fail("wrong column count for predicate arity");
+    }
+    Tuple t;
+    for (int i = 0; i < arity; ++i) {
+      ConstId id = 0;
+      if (!io_internal::TryInternToken(toks[2 + i], dom, &id)) {
+        return fail("integer key out of 64-bit range");
+      }
+      t.push_back(id);
+    }
+    if (is_bool) {
+      if (is_add) {
+        batch->AddBool(pred, std::move(t));
+      } else {
+        batch->DeleteBool(pred, std::move(t));
+      }
+    } else if (is_add) {
+      typename P::Value v;
+      if (!parse_value(toks.back(), &v)) return fail("cannot parse value");
+      batch->Add(pred, std::move(t), std::move(v));
+    } else {
+      batch->Delete(pred, std::move(t));
+    }
+  }
+  return true;
 }
 
 template <NaturallyOrderedSemiring P, typename ParseFn>
@@ -218,10 +290,42 @@ int RunAs(const CliOptions& opt, const std::string& text,
                  opt.max_steps);
     return 2;
   }
-  std::printf("# converged, stability index %d\n", result.steps);
+  const IdbInstance<P>* tables = &result.idb;
+  IdbInstance<P> maintained(prog.value());
+  if (!opt.update_path.empty()) {
+    std::string batch_text;
+    if (!ReadFile(opt.update_path, &batch_text)) {
+      std::fprintf(stderr, "cannot read %s\n", opt.update_path.c_str());
+      return 1;
+    }
+    EdbDelta<P> batch;
+    if (!ParseUpdateBatch<P>(batch_text, prog.value(), &dom, parse_value,
+                             &batch)) {
+      return 1;
+    }
+    maintained.CopyContentsFrom(result.idb);
+    UpdateResult ur = engine.Update(batch, &edb, &maintained, opt.max_steps);
+    if (!ur.converged) {
+      std::fprintf(stderr, "update did not converge within %d rounds\n",
+                   opt.max_steps);
+      return 2;
+    }
+    const char* strategy =
+        ur.strategy == UpdateStrategy::kNoop            ? "noop"
+        : ur.strategy == UpdateStrategy::kInsertOnly    ? "insert-cascade"
+        : ur.strategy == UpdateStrategy::kExactDeletion ? "exact-deletion"
+        : ur.strategy == UpdateStrategy::kDred          ? "dred"
+                                                        : "recompute";
+    std::printf("# update applied via %s, %d rounds, %llu rederived\n",
+                strategy, ur.rounds,
+                static_cast<unsigned long long>(ur.deleted_rederived));
+    tables = &maintained;
+  } else {
+    std::printf("# converged, stability index %d\n", result.steps);
+  }
   for (int pred : prog.value().IdbPredicates()) {
     std::printf("## %s\n%s", prog.value().predicate(pred).name.c_str(),
-                DumpTsv(result.idb.idb(pred), dom).c_str());
+                DumpTsv(tables->idb(pred), dom).c_str());
   }
   return 0;
 }
@@ -236,7 +340,8 @@ int main(int argc, char** argv) {
                  "[--edb P=FILE]... [--bedb P=FILE]... [--seminaive] "
                  "[--advise] [--max-steps=N] [--threads=N] "
                  "[--scheduler=sweep|ordered] [--index=hash|direct|auto] "
-                 "[--scan=scalar|simd] [--values=scalar|simd]\n"
+                 "[--scan=scalar|simd] [--values=scalar|simd] "
+                 "[--update=BATCH]\n"
                  "semirings: bool nat trop tropnat fuzzy viterbi\n");
     return 1;
   }

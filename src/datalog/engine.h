@@ -26,6 +26,7 @@
 #include "src/datalog/reliance.h"
 #include "src/relation/relation.h"
 #include "src/semiring/boolean.h"
+#include "src/semiring/deletion.h"
 #include "src/semiring/simd_traits.h"
 #include "src/semiring/traits.h"
 
@@ -113,6 +114,30 @@ struct EngineOptions {
   /// only values_batched() distinguishes them. Default honors the
   /// DATALOGO_VALUES environment variable (falling back to DATALOGO_SCAN).
   ScanKernel value_kernel = DefaultValueKernel();
+};
+
+/// How Engine::Update serviced one batch (reported for tests/benches).
+enum class UpdateStrategy {
+  kNoop,           ///< empty batch: nothing ran
+  kInsertOnly,     ///< one warm insert cascade, no deletes
+  kExactDeletion,  ///< subtract cascade (count-carrying carriers); also
+                   ///< covers the trailing insert cascade of a mixed batch
+  kDred,           ///< over-delete / re-derive (dioid carriers)
+  kRecompute,      ///< full fixpoint from the mutated EDB
+};
+
+/// Outcome of one Engine::Update call.
+struct UpdateResult {
+  /// Cascade rounds run, seed evaluations included (for kRecompute: the
+  /// fallback run's steps).
+  int rounds = 0;
+  bool converged = false;
+  /// Generator entries visited servicing the batch.
+  uint64_t work = 0;
+  /// DRed only: pruned tuples the re-derivation brought back — each had a
+  /// surviving derivation that avoided every deleted fact.
+  uint64_t deleted_rederived = 0;
+  UpdateStrategy strategy = UpdateStrategy::kNoop;
 };
 
 /// Relational evaluation of a datalog° program over a naturally ordered
@@ -360,11 +385,11 @@ class Engine {
           for (int ell = 0; ell < occurrences; ++ell) {
             units.push_back(EvalUnit{
                 &cr, cdp,
-                [cdp, ell, &t_new, &delta,
+                [this, cdp, ell, &t_new, &delta,
                  &t_old](int atom_index) -> const Relation<P>& {
                   int pred = cdp->sp->atoms[atom_index].pred;
                   int occ = cdp->occ_of_atom[atom_index];
-                  DLO_CHECK(occ >= 0);
+                  if (occ < 0) return edb_->pops(pred);
                   if (occ < ell) return t_new.idb(pred);
                   if (occ == ell) return delta.idb(pred);
                   return t_old.idb(pred);
@@ -388,7 +413,7 @@ class Engine {
               auto resolver = [&](int atom_index) -> const Relation<P>& {
                 int pred = cd.sp->atoms[atom_index].pred;
                 int occ = cd.occ_of_atom[atom_index];
-                DLO_CHECK(occ >= 0);
+                if (occ < 0) return edb_->pops(pred);
                 if (occ < ell) return t_new.idb(pred);
                 if (occ == ell) return delta.idb(pred);
                 return t_old.idb(pred);
@@ -419,6 +444,100 @@ class Engine {
       t_new.CompactAll();  // tombstone hygiene between fixpoint iterations
     }
     return {std::move(t_new), max_steps, false, work};
+  }
+
+  /// Incremental maintenance — the warm-continuation entry point. Given
+  /// `idb` holding the converged fixpoint of the engine's CURRENT EDB
+  /// (Naive/SemiNaive output, or a previous converged Update), applies one
+  /// batch of EDB mutations in place and brings `idb` to the fixpoint of
+  /// the mutated EDB without re-running the whole fixpoint.
+  ///
+  ///  * Inserts run exactly one semi-naive delta cascade seeded from the
+  ///    new facts: the seed evaluates the multilinear cross terms of every
+  ///    rule body over the added mass (Δ at one changed-EDB occurrence,
+  ///    the post-mutation EDB before it, pre-mutation snapshots after it —
+  ///    the EDB transposition of Eq. (64)); the rounds are the ordinary
+  ///    differential rule. Valid in ANY carrier: E_new = E_old ⊕ Δ holds
+  ///    by definition of the ⊕-merge, and multilinearity makes the cross
+  ///    terms exactly the fresh one-step mass, no ⊖ required.
+  ///  * Deletes go through support counting where the carrier supports it
+  ///    (SupportsExactDeletion — ℕ, ℕ[X], products of such: the removed
+  ///    derivation mass is subtracted back out row by row, so
+  ///    over-deletion is impossible by construction), and through DRed
+  ///    (over-delete the affected cone, then re-derive) on complete
+  ///    distributive dioids. Selective-⊕ dioids (min/max/or) prune only
+  ///    tuples whose removed mass ties the stored optimum — what keeps the
+  ///    affected cone small. Carriers with neither capability recompute.
+  ///  * Boolean-EDB changes always recompute: Boolean facts appear as
+  ///    (possibly negated) residual conditions, outside the ⊕-linear
+  ///    differential algebra.
+  ///
+  /// `edb` must be the engine's own instance — mutating it in place keeps
+  /// relation uids stable, so cached EDB indexes refresh incrementally
+  /// (appended rows) instead of rebuilding, and `idb`'s persistent
+  /// Relation objects keep their cached delta indexes attached across
+  /// Update calls. Within one batch, deletes apply before adds (a fact
+  /// deleted and re-added ends up with exactly the added value). The
+  /// converged result is bit-identical to a full recompute from the
+  /// mutated EDB; on a blown budget, converged=false and `idb` is left
+  /// mid-cascade like the fixpoint entry points' partial results.
+  UpdateResult Update(const EdbDelta<P>& batch, EdbInstance<P>* edb,
+                      IdbInstance<P>* idb, int max_steps) const {
+    DLO_CHECK_MSG(edb == edb_, "Update must mutate the engine's own EDB");
+    UpdateResult res;
+    res.converged = true;
+    if (batch.empty()) return res;
+
+    bool recompute = !batch.bool_adds.empty() || !batch.bool_deletes.empty();
+    bool deletes_applied = false;
+
+    if (!recompute && !batch.pops_deletes.empty()) {
+      if constexpr (SupportsExactDeletion<P>) {
+        res.strategy = UpdateStrategy::kExactDeletion;
+        const CascadeOutcome oc =
+            ExactDeleteCascade(batch, edb, idb, max_steps, &res);
+        if (oc == CascadeOutcome::kBudget) {
+          res.converged = false;
+          return res;
+        }
+        deletes_applied = true;
+        if (oc == CascadeOutcome::kInexact) recompute = true;
+      } else if constexpr (CompleteDistributiveDioid<P>) {
+        // DRed folds the batch's adds into its re-derivation seed, so it
+        // services the whole batch in one warm continuation.
+        res.strategy = UpdateStrategy::kDred;
+        DredUpdate(batch, edb, idb, max_steps, &res);
+        return res;
+      } else {
+        recompute = true;  // no exact counts, no ⊖: nothing cheaper exists
+      }
+    }
+    if (recompute) {
+      res.strategy = UpdateStrategy::kRecompute;
+      for (const auto& d : batch.bool_deletes) {
+        edb->boolean(d.pred).Erase(d.tuple);
+      }
+      for (const auto& a : batch.bool_adds) {
+        edb->boolean(a.pred).Set(a.tuple, true);
+      }
+      if (!deletes_applied) {
+        for (const auto& d : batch.pops_deletes) {
+          edb->pops(d.pred).Erase(d.tuple);
+        }
+      }
+      for (const auto& a : batch.pops_adds) {
+        edb->pops(a.pred).Merge(a.tuple, a.value);
+      }
+      Recompute(idb, max_steps, &res);
+      return res;
+    }
+    if (!batch.pops_adds.empty()) {
+      if (res.strategy == UpdateStrategy::kNoop) {
+        res.strategy = UpdateStrategy::kInsertOnly;
+      }
+      InsertCascade(batch, edb, idb, max_steps, &res);
+    }
+    return res;
   }
 
  private:
@@ -887,8 +1006,13 @@ class Engine {
       for (const CompiledDisjunct& cd : cr.disjuncts) {
         const CompiledDisjunct* cdp = &cd;
         units.push_back(EvalUnit{
-            &cr, cdp, [cdp, &j](int atom_index) -> const Relation<P>& {
-              return j.idb(cdp->sp->atoms[atom_index].pred);
+            &cr, cdp,
+            [this, cdp, &j](int atom_index) -> const Relation<P>& {
+              const int pred = cdp->sp->atoms[atom_index].pred;
+              if (prog_->predicate(pred).kind != PredKind::kIdb) {
+                return edb_->pops(pred);
+              }
+              return j.idb(pred);
             }});
       }
     }
@@ -1027,6 +1151,9 @@ class Engine {
               for (int ell = 0; ell < occurrences; ++ell) {
                 auto resolver = [&](int atom_index) -> const Relation<P>& {
                   const int pred = cd.sp->atoms[atom_index].pred;
+                  if (prog_->predicate(pred).kind != PredKind::kIdb) {
+                    return edb_->pops(pred);
+                  }
                   const int occ = cd.group_occ_of_atom[atom_index];
                   if (occ < 0 || occ < ell) return t_new.idb(pred);
                   if (occ == ell) return delta.idb(pred);
@@ -1112,9 +1239,12 @@ class Engine {
         for (int ell = 0; ell < occurrences; ++ell) {
           units->push_back(EvalUnit{
               &cr, cdp,
-              [cdp, ell, &t_new, &delta,
+              [this, cdp, ell, &t_new, &delta,
                &t_old](int atom_index) -> const Relation<P>& {
                 const int pred = cdp->sp->atoms[atom_index].pred;
+                if (prog_->predicate(pred).kind != PredKind::kIdb) {
+                  return edb_->pops(pred);
+                }
                 const int occ = cdp->group_occ_of_atom[atom_index];
                 if (occ < 0 || occ < ell) return t_new.idb(pred);
                 if (occ == ell) return delta.idb(pred);
@@ -1123,6 +1253,664 @@ class Engine {
         }
       }
     }
+  }
+
+  // ------- Incremental maintenance internals (Engine::Update) -------
+
+  enum class CascadeOutcome { kConverged, kBudget, kInexact };
+
+  /// Full recompute from the (already mutated) EDB into the caller's
+  /// instance — the fallback every incremental route shares. Content is
+  /// copied into `idb`'s existing Relation objects, so their uids (and
+  /// any cached indexes) survive even the fallback.
+  void Recompute(IdbInstance<P>* idb, int max_steps,
+                 UpdateResult* res) const {
+    EvalResult<P> r = [&] {
+      if constexpr (CompleteDistributiveDioid<P>) return SemiNaive(max_steps);
+      return Naive(max_steps);
+    }();
+    idb->CopyContentsFrom(r.idb);
+    res->rounds += r.steps;
+    res->work += r.work;
+    if (!r.converged) res->converged = false;
+  }
+
+  /// Evaluates the multilinear EDB cross terms of F(T) over a set of
+  /// changed EDB predicates, merging into `out`: for every disjunct and
+  /// every occurrence ℓ of a changed predicate (in atom order), one
+  /// sum-product with occurrence ℓ reading delta_by_pred, earlier changed
+  /// occurrences reading the live EDB, later ones reading hi_by_pred
+  /// (null entry = live EDB) and IDB atoms reading `idb`. With hi = the
+  /// pre-mutation snapshots this is exactly F_new(T) "⊖" F_old(T)
+  /// realized as fresh mass (multilinearity — no subtraction happens, so
+  /// it is valid in any carrier); with hi = live it evaluates the
+  /// one-step mass through the delta, the DRed affected seed.
+  void EvalEdbCrossTerms(const std::vector<const Relation<P>*>& delta_by_pred,
+                         const std::vector<const Relation<P>*>& hi_by_pred,
+                         const IdbInstance<P>& idb, IdbInstance<P>* out,
+                         uint64_t* work) const {
+    std::vector<EvalUnit> units;
+    std::vector<int> changed;
+    for (const CompiledRule& cr : compiled_) {
+      for (const CompiledDisjunct& cd : cr.disjuncts) {
+        changed.clear();
+        for (std::size_t i = 0; i < cd.sp->atoms.size(); ++i) {
+          if (cd.occ_of_atom[i] < 0 &&
+              delta_by_pred[cd.sp->atoms[i].pred] != nullptr) {
+            changed.push_back(static_cast<int>(i));
+          }
+        }
+        const CompiledDisjunct* cdp = &cd;
+        for (int ell_atom : changed) {
+          auto resolver = [this, cdp, ell_atom, &idb, &delta_by_pred,
+                           &hi_by_pred](int atom_index)
+              -> const Relation<P>& {
+            const int pred = cdp->sp->atoms[atom_index].pred;
+            if (cdp->occ_of_atom[atom_index] >= 0) return idb.idb(pred);
+            const Relation<P>* d = delta_by_pred[pred];
+            if (d == nullptr) return edb_->pops(pred);  // unchanged
+            if (atom_index < ell_atom) return edb_->pops(pred);
+            if (atom_index == ell_atom) return *d;
+            const Relation<P>* hi = hi_by_pred[pred];
+            return hi != nullptr ? *hi : edb_->pops(pred);
+          };
+          if (pool_) {
+            units.push_back(EvalUnit{&cr, cdp, resolver});
+          } else {
+            EvalDisjunct(cd, resolver, &out->idb(cr.rule->head.pred), work);
+          }
+        }
+      }
+    }
+    if (pool_ && !units.empty()) ApplyUnitsParallel(units, out, work);
+  }
+
+  /// The unit list for EvalDifferentialRound's pool path — SemiNaive's
+  /// unit shape, with EDB atoms resolved to the live EDB. References the
+  /// caller's instances: rebuild only when they move.
+  std::vector<EvalUnit> DifferentialUnits(const IdbInstance<P>& cur,
+                                          const IdbInstance<P>& delta,
+                                          const IdbInstance<P>& prev) const {
+    std::vector<EvalUnit> units;
+    for (const CompiledRule& cr : compiled_) {
+      for (const CompiledDisjunct& cd : cr.disjuncts) {
+        const int occurrences = static_cast<int>(cd.idb_atoms.size());
+        if (occurrences == 0) continue;
+        const CompiledDisjunct* cdp = &cd;
+        for (int ell = 0; ell < occurrences; ++ell) {
+          units.push_back(EvalUnit{
+              &cr, cdp,
+              [this, cdp, ell, &cur, &delta,
+               &prev](int atom_index) -> const Relation<P>& {
+                const int pred = cdp->sp->atoms[atom_index].pred;
+                const int occ = cdp->occ_of_atom[atom_index];
+                if (occ < 0) return edb_->pops(pred);
+                if (occ < ell) return cur.idb(pred);
+                if (occ == ell) return delta.idb(pred);
+                return prev.idb(pred);
+              }});
+        }
+      }
+    }
+    return units;
+  }
+
+  /// One differential round body (Eq. 64 with caller-supplied instances):
+  /// candidate ⊕= Σ_disjuncts Σ_ℓ G(cur <ℓ, delta at ℓ, prev >ℓ), EDB
+  /// atoms reading the live EDB, in SemiNaive's exact (rule, disjunct, ℓ)
+  /// order. `units` is the pool path's prebuilt list (ignored
+  /// sequentially).
+  void EvalDifferentialRound(const IdbInstance<P>& cur,
+                             const IdbInstance<P>& delta,
+                             const IdbInstance<P>& prev,
+                             const std::vector<EvalUnit>& units,
+                             IdbInstance<P>* candidate,
+                             uint64_t* work) const {
+    if (pool_) {
+      ApplyUnitsParallel(units, candidate, work);
+      return;
+    }
+    for (const CompiledRule& cr : compiled_) {
+      for (const CompiledDisjunct& cd : cr.disjuncts) {
+        const int occurrences = static_cast<int>(cd.idb_atoms.size());
+        for (int ell = 0; ell < occurrences; ++ell) {
+          auto resolver = [&](int atom_index) -> const Relation<P>& {
+            const int pred = cd.sp->atoms[atom_index].pred;
+            const int occ = cd.occ_of_atom[atom_index];
+            if (occ < 0) return edb_->pops(pred);
+            if (occ < ell) return cur.idb(pred);
+            if (occ == ell) return delta.idb(pred);
+            return prev.idb(pred);
+          };
+          EvalDisjunct(cd, resolver, &candidate->idb(cr.rule->head.pred),
+                       work);
+        }
+      }
+    }
+  }
+
+  /// δ = candidate relative to base, per IDB predicate: ⊖ on dioids. On
+  /// carriers without ⊖ the candidate rows ARE the fresh derivation mass
+  /// (the cross terms never double-count, by multilinearity), so each row
+  /// is kept verbatim — unless the base already ⊕-absorbs it, which in
+  /// the shipped carriers means a saturated value (ℕ's ∞, saturated
+  /// polynomial coefficients). Dropping absorbed rows is what makes
+  /// cascades through saturated cycles terminate, and is sound because an
+  /// absorbed row can only produce further absorbed mass downstream: any
+  /// one-step image a ⊗ c ⊗ b of mass c absorbed at a saturated tuple is
+  /// itself absorbed by the a ⊗ T(u) ⊗ b mass the target already holds.
+  bool DeltaFromCandidate(const IdbInstance<P>& candidate,
+                          const IdbInstance<P>& base,
+                          IdbInstance<P>* delta) const {
+    bool any = false;
+    for (int pred : prog_->IdbPredicates()) {
+      const Relation<P>& c = candidate.idb(pred);
+      if constexpr (CompleteDistributiveDioid<P>) {
+        if (DiffRows(c, base.idb(pred), &delta->idb(pred))) any = true;
+      } else {
+        const Relation<P>& b = base.idb(pred);
+        Relation<P>& out = delta->idb(pred);
+        const uint32_t rows = c.num_rows();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!c.RowLive(r)) continue;
+          const typename P::Value bv = b.Get(c.View(r));
+          if (P::Eq(P::Plus(bv, c.ValueAt(r)), bv)) continue;
+          out.Set(c.View(r), c.ValueAt(r));
+          any = true;
+        }
+      }
+    }
+    return any;
+  }
+
+  /// Differential rounds of a warm cascade: repeat candidate = Eq. (64)
+  /// cross terms, δ = candidate relative to T, T ⊕= δ, until δ drains or
+  /// the budget runs out (converged=false, T left mid-cascade).
+  void RunMergeRounds(IdbInstance<P>* t_new, IdbInstance<P>* delta,
+                      IdbInstance<P>* t_old, IdbInstance<P>* candidate,
+                      int max_steps, UpdateResult* res,
+                      uint64_t* work) const {
+    std::vector<EvalUnit> units;
+    if (pool_) units = DifferentialUnits(*t_new, *delta, *t_old);
+    while (true) {
+      if (res->rounds >= max_steps) {
+        res->converged = false;
+        return;
+      }
+      SweepCaches();
+      candidate->ClearAll();
+      EvalDifferentialRound(*t_new, *delta, *t_old, units, candidate, work);
+      ++res->rounds;
+      delta->ClearAll();
+      if (!DeltaFromCandidate(*candidate, *t_new, delta)) return;
+      t_old->CopyContentsFrom(*t_new);
+      for (int pred : prog_->IdbPredicates()) {
+        MergeRows(delta->idb(pred), &t_new->idb(pred));
+      }
+      t_new->CompactAll();
+    }
+  }
+
+  /// Insert-only cascade: snapshot the changed predicates, ⊕-merge the
+  /// added facts into the live EDB, seed with the EDB cross terms, then
+  /// run ordinary differential rounds from the warm T.
+  void InsertCascade(const EdbDelta<P>& batch, EdbInstance<P>* edb,
+                     IdbInstance<P>* idb, int max_steps,
+                     UpdateResult* res) const {
+    const int n = prog_->num_predicates();
+    std::vector<std::unique_ptr<Relation<P>>> owned;
+    std::vector<const Relation<P>*> snap(n, nullptr);
+    std::vector<Relation<P>*> delta_rel(n, nullptr);
+    for (const auto& add : batch.pops_adds) {
+      if (delta_rel[add.pred] != nullptr) continue;
+      // Snapshot BEFORE the merges below: the seed's later-occurrence
+      // slots must read the pre-mutation contents.
+      owned.push_back(std::make_unique<Relation<P>>(edb->pops(add.pred)));
+      snap[add.pred] = owned.back().get();
+      owned.push_back(
+          std::make_unique<Relation<P>>(edb->pops(add.pred).arity()));
+      delta_rel[add.pred] = owned.back().get();
+    }
+    for (const auto& add : batch.pops_adds) {
+      delta_rel[add.pred]->Merge(add.tuple, add.value);
+      edb->pops(add.pred).Merge(add.tuple, add.value);
+    }
+    bool have_delta = false;
+    for (int p = 0; p < n; ++p) {
+      if (delta_rel[p] == nullptr) continue;
+      if (delta_rel[p]->empty()) {
+        delta_rel[p] = nullptr;  // all-⊥ adds: nothing actually changed
+      } else {
+        have_delta = true;
+      }
+    }
+    if (!have_delta) return;
+    std::vector<const Relation<P>*> delta_cv(delta_rel.begin(),
+                                             delta_rel.end());
+    SweepCaches();
+    IdbInstance<P> candidate(*prog_);
+    uint64_t work = 0;
+    EvalEdbCrossTerms(delta_cv, snap, *idb, &candidate, &work);
+    ++res->rounds;
+    IdbInstance<P> delta(*prog_);
+    if (DeltaFromCandidate(candidate, *idb, &delta)) {
+      IdbInstance<P> t_old(*prog_);
+      t_old.CopyContentsFrom(*idb);
+      for (int pred : prog_->IdbPredicates()) {
+        MergeRows(delta.idb(pred), &idb->idb(pred));
+      }
+      idb->CompactAll();
+      RunMergeRounds(idb, &delta, &t_old, &candidate, max_steps, res, &work);
+    }
+    res->work += work;
+  }
+
+  /// Exact-deletion cascade for count-carrying carriers: snapshot the
+  /// deleted predicates, Erase the facts (E_new), then subtract the
+  /// removed derivation mass back out of T round by round. The seed is
+  /// the same cross-term evaluator as the insert cascade — the removed
+  /// mass of one ICO step; each round retracts the previous round's rows
+  /// from T (DeletionTraits::Retract — exact) and evaluates the next
+  /// cross terms over the (retracted, previous) pair. Terminates when no
+  /// mass is left to remove. Any Retract failure — a saturated value has
+  /// forgotten its count — aborts with kInexact: the EDB deletes are
+  /// already applied and `idb`'s contents are garbage until the caller's
+  /// recompute overwrites them (Recompute ignores prior contents).
+  CascadeOutcome ExactDeleteCascade(const EdbDelta<P>& batch,
+                                    EdbInstance<P>* edb, IdbInstance<P>* idb,
+                                    int max_steps, UpdateResult* res) const
+    requires SupportsExactDeletion<P>
+  {
+    const int n = prog_->num_predicates();
+    std::vector<std::unique_ptr<Relation<P>>> owned;
+    std::vector<const Relation<P>*> snap(n, nullptr);
+    std::vector<Relation<P>*> delta_rel(n, nullptr);
+    for (const auto& del : batch.pops_deletes) {
+      if (delta_rel[del.pred] != nullptr) continue;
+      owned.push_back(std::make_unique<Relation<P>>(edb->pops(del.pred)));
+      snap[del.pred] = owned.back().get();
+      owned.push_back(
+          std::make_unique<Relation<P>>(edb->pops(del.pred).arity()));
+      delta_rel[del.pred] = owned.back().get();
+    }
+    bool any_removed = false;
+    for (const auto& del : batch.pops_deletes) {
+      Relation<P>& rel = edb->pops(del.pred);
+      const typename P::Value old_v = rel.Get(del.tuple);
+      if (P::Eq(old_v, P::Zero())) continue;  // absent: deleting is a no-op
+      delta_rel[del.pred]->Set(del.tuple, old_v);
+      rel.Erase(del.tuple);
+      any_removed = true;
+    }
+    if (!any_removed) return CascadeOutcome::kConverged;
+    std::vector<const Relation<P>*> delta_cv(delta_rel.begin(),
+                                             delta_rel.end());
+    SweepCaches();
+    IdbInstance<P> candidate(*prog_);
+    uint64_t work = 0;
+    EvalEdbCrossTerms(delta_cv, snap, *idb, &candidate, &work);
+    ++res->rounds;
+    IdbInstance<P> removed(*prog_);  // δ⁻ the next round propagates
+    IdbInstance<P> t_prev(*prog_);
+    std::vector<EvalUnit> units;
+    if (pool_) units = DifferentialUnits(*idb, removed, t_prev);
+    while (true) {
+      removed.ClearAll();
+      bool any = false;
+      for (int pred : prog_->IdbPredicates()) {
+        const Relation<P>& c = candidate.idb(pred);
+        const uint32_t rows = c.num_rows();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!c.RowLive(r)) continue;
+          removed.idb(pred).Set(c.View(r), c.ValueAt(r));
+          any = true;
+        }
+      }
+      if (!any) {
+        res->work += work;
+        return CascadeOutcome::kConverged;
+      }
+      // T_prev ← T, then T ⊖= removed (exact, or bail out).
+      t_prev.CopyContentsFrom(*idb);
+      for (int pred : prog_->IdbPredicates()) {
+        const Relation<P>& rem = removed.idb(pred);
+        Relation<P>& t = idb->idb(pred);
+        const uint32_t rows = rem.num_rows();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!rem.RowLive(r)) continue;
+          typename P::Value left;
+          if (!DeletionTraits<P>::Retract(t.Get(rem.View(r)), rem.ValueAt(r),
+                                          &left)) {
+            res->work += work;
+            return CascadeOutcome::kInexact;
+          }
+          t.Set(rem.View(r), left);  // ⊥ tombstones the row
+        }
+      }
+      idb->CompactAll();
+      if (res->rounds >= max_steps) {
+        res->work += work;
+        return CascadeOutcome::kBudget;
+      }
+      SweepCaches();
+      candidate.ClearAll();
+      EvalDifferentialRound(*idb, removed, t_prev, units, &candidate, &work);
+      ++res->rounds;
+    }
+  }
+
+  /// DRed for complete distributive dioids, in three phases. (1) AFFECTED
+  /// cascade over the pre-mutation instance: a semi-naive fixpoint of the
+  /// one-step mass through the deleted facts, carrying the real removed
+  /// ⊕-values so selective-⊕ carriers (min/max/or) can drop tuples whose
+  /// stored optimum beats every deleted-using derivation. Correctness of
+  /// that filter is optimal substructure: subtrees of an optimal
+  /// deleted-using tree are optimal deleted-using at their own roots, so
+  /// every truly affected tuple — ties included — survives. Non-selective
+  /// dioids (PosBool) keep the whole reachable cone (plain support-level
+  /// DRed). (2) Prune the cone from T and apply the whole EDB batch.
+  /// (3) Re-derive: seed = insert cross terms ⊕ a backward point
+  /// re-derivation of every pruned tuple, then ordinary differential
+  /// rounds. Unpruned rows need no seed slot — they satisfy
+  /// F_new(T_start)(u) ⊑ T_start(u), so their diff is ⊥.
+  void DredUpdate(const EdbDelta<P>& batch, EdbInstance<P>* edb,
+                  IdbInstance<P>* idb, int max_steps,
+                  UpdateResult* res) const
+    requires CompleteDistributiveDioid<P>
+  {
+    const int n = prog_->num_predicates();
+    uint64_t work = 0;
+    // ---- Phase 1: affected cascade (EDB not yet mutated). ----
+    std::vector<std::unique_ptr<Relation<P>>> owned;
+    std::vector<const Relation<P>*> no_snap(n, nullptr);
+    std::vector<Relation<P>*> del_rel(n, nullptr);
+    for (const auto& del : batch.pops_deletes) {
+      if (del_rel[del.pred] == nullptr) {
+        owned.push_back(
+            std::make_unique<Relation<P>>(edb->pops(del.pred).arity()));
+        del_rel[del.pred] = owned.back().get();
+      }
+      const typename P::Value old_v = edb->pops(del.pred).Get(del.tuple);
+      if (!P::Eq(old_v, P::Zero())) del_rel[del.pred]->Set(del.tuple, old_v);
+    }
+    std::vector<const Relation<P>*> del_cv(del_rel.begin(), del_rel.end());
+    IdbInstance<P> candidate(*prog_);
+    IdbInstance<P> affected(*prog_);   // accumulated affected mass
+    IdbInstance<P> aff_delta(*prog_);  // last round's fresh mass
+    SweepCaches();
+    EvalEdbCrossTerms(del_cv, no_snap, *idb, &candidate, &work);
+    ++res->rounds;
+    std::vector<EvalUnit> units;
+    if (pool_) units = DifferentialUnits(*idb, aff_delta, *idb);
+    while (true) {
+      aff_delta.ClearAll();
+      bool any = false;
+      for (int pred : prog_->IdbPredicates()) {
+        const Relation<P>& c = candidate.idb(pred);
+        const Relation<P>& told = idb->idb(pred);
+        const Relation<P>& acc = affected.idb(pred);
+        Relation<P>& out = aff_delta.idb(pred);
+        const uint32_t rows = c.num_rows();
+        for (uint32_t r = 0; r < rows; ++r) {
+          if (!c.RowLive(r)) continue;
+          const typename P::Value cv = c.ValueAt(r);
+          if constexpr (DeletionTraits<P>::kSelectivePlus) {
+            // The stored optimum beats every deleted-using derivation of
+            // this tuple: the tuple — and anything reachable through it
+            // ALONE — is unaffected.
+            if (!P::Eq(P::Plus(cv, told.Get(c.View(r))), cv)) continue;
+          }
+          const typename P::Value d = P::Minus(cv, acc.Get(c.View(r)));
+          if (P::Eq(d, P::Zero())) continue;
+          out.Set(c.View(r), d);
+          any = true;
+        }
+      }
+      if (!any) break;
+      for (int pred : prog_->IdbPredicates()) {
+        MergeRows(aff_delta.idb(pred), &affected.idb(pred));
+      }
+      if (res->rounds >= max_steps) {
+        // Budget blew inside the affected cascade: apply the EDB batch so
+        // the instance at least reflects it, and report non-convergence
+        // (idb is stale, like any non-converged run's partial output).
+        for (const auto& del : batch.pops_deletes) {
+          edb->pops(del.pred).Erase(del.tuple);
+        }
+        for (const auto& add : batch.pops_adds) {
+          edb->pops(add.pred).Merge(add.tuple, add.value);
+        }
+        res->converged = false;
+        res->work += work;
+        return;
+      }
+      SweepCaches();
+      candidate.ClearAll();
+      EvalDifferentialRound(*idb, aff_delta, *idb, units, &candidate, &work);
+      ++res->rounds;
+    }
+    // ---- Phase 2: prune the cone, apply the EDB batch. ----
+    std::vector<std::pair<int, Tuple>> pruned;
+    for (int pred : prog_->IdbPredicates()) {
+      const Relation<P>& a = affected.idb(pred);
+      Relation<P>& t = idb->idb(pred);
+      const uint32_t rows = a.num_rows();
+      for (uint32_t r = 0; r < rows; ++r) {
+        if (!a.RowLive(r)) continue;
+        if (!t.Erase(a.View(r))) continue;
+        Tuple tup(static_cast<std::size_t>(a.arity()), 0);
+        for (int p = 0; p < a.arity(); ++p) tup[p] = a.Cell(r, p);
+        pruned.emplace_back(pred, std::move(tup));
+      }
+    }
+    idb->CompactAll();
+    for (const auto& del : batch.pops_deletes) {
+      edb->pops(del.pred).Erase(del.tuple);
+    }
+    std::vector<const Relation<P>*> add_snap(n, nullptr);
+    std::vector<Relation<P>*> add_rel(n, nullptr);
+    for (const auto& add : batch.pops_adds) {
+      if (add_rel[add.pred] != nullptr) continue;
+      // Snapshot AFTER the deletes, BEFORE the adds: the insert seed's
+      // later-occurrence slots read the mid-mutation contents.
+      owned.push_back(std::make_unique<Relation<P>>(edb->pops(add.pred)));
+      add_snap[add.pred] = owned.back().get();
+      owned.push_back(
+          std::make_unique<Relation<P>>(edb->pops(add.pred).arity()));
+      add_rel[add.pred] = owned.back().get();
+    }
+    bool have_adds = false;
+    for (const auto& add : batch.pops_adds) {
+      add_rel[add.pred]->Merge(add.tuple, add.value);
+      edb->pops(add.pred).Merge(add.tuple, add.value);
+      if (!add_rel[add.pred]->empty()) have_adds = true;
+    }
+    std::vector<const Relation<P>*> add_cv(add_rel.begin(), add_rel.end());
+    // ---- Phase 3: re-derive. ----
+    SweepCaches();
+    candidate.ClearAll();
+    if (have_adds) {
+      EvalEdbCrossTerms(add_cv, add_snap, *idb, &candidate, &work);
+    }
+    for (const auto& [pred, tup] : pruned) {
+      const typename P::Value v = RederiveTuple(pred, tup, *idb, &work);
+      if (!P::Eq(v, P::Zero())) candidate.idb(pred).Merge(tup, v);
+    }
+    ++res->rounds;
+    IdbInstance<P> delta(*prog_);
+    if (DeltaFromCandidate(candidate, *idb, &delta)) {
+      IdbInstance<P> t_old(*prog_);
+      t_old.CopyContentsFrom(*idb);
+      for (int pred : prog_->IdbPredicates()) {
+        MergeRows(delta.idb(pred), &idb->idb(pred));
+      }
+      idb->CompactAll();
+      RunMergeRounds(idb, &delta, &t_old, &candidate, max_steps, res, &work);
+    }
+    for (const auto& [pred, tup] : pruned) {
+      if (idb->idb(pred).Contains(tup)) ++res->deleted_rederived;
+    }
+    res->work += work;
+  }
+
+  /// Backward point re-derivation: F(T)(tuple) for ONE head tuple — the
+  /// DRed re-derive seed for a pruned tuple. The head binding grounds
+  /// positions the forward compilation treated as free, so the key sets
+  /// differ from the compiled generators': each level re-plans its key
+  /// (the currently ground argument positions) against the live binding
+  /// and probes through the shared index cache — unpinned, so the
+  /// point-query indexes amortize across the pruned set and sweep away
+  /// afterwards. ⊕ across derivations is exactly associative/commutative
+  /// for every DRed carrier (min/max/or/antichain union), so enumeration
+  /// order cannot perturb values.
+  typename P::Value RederiveTuple(int head_pred, const Tuple& tuple,
+                                  const IdbInstance<P>& idb,
+                                  uint64_t* work) const {
+    typename P::Value total = P::Zero();
+    std::vector<ConstId> binding;
+    for (const CompiledRule& cr : compiled_) {
+      if (cr.rule->head.pred != head_pred) continue;
+      for (const CompiledDisjunct& cd : cr.disjuncts) {
+        binding.assign(static_cast<std::size_t>(cr.rule->num_vars),
+                       kUnbound);
+        for (const auto& [v, c] : cd.prebindings) binding[v] = c;
+        bool feasible = true;
+        for (std::size_t i = 0; i < cr.rule->head.args.size(); ++i) {
+          const Term& t = cr.rule->head.args[i];
+          if (!t.IsVar()) {
+            if (t.constant != tuple[i]) {
+              feasible = false;
+              break;
+            }
+            continue;
+          }
+          if (binding[t.var] != kUnbound && binding[t.var] != tuple[i]) {
+            feasible = false;
+            break;
+          }
+          binding[t.var] = tuple[i];
+        }
+        if (!feasible) continue;
+        total = P::Plus(total,
+                        RederiveLevel(cd, 0, &binding, P::One(), idb, work));
+      }
+    }
+    return total;
+  }
+
+  /// One generator level of RederiveTuple's backward join (recursive,
+  /// depth = generator count). Fully ground levels probe point-wise;
+  /// partially bound levels enumerate the cache-served entry list for the
+  /// ground positions, binding first occurrences and checking repeats.
+  /// Variables this level introduced are re-unbound before returning so
+  /// sibling entries (and the caller's next entry) re-plan cleanly.
+  typename P::Value RederiveLevel(const CompiledDisjunct& cd, std::size_t g,
+                                  std::vector<ConstId>* binding,
+                                  const typename P::Value& acc,
+                                  const IdbInstance<P>& idb,
+                                  uint64_t* work) const {
+    if (g == cd.generators.size()) {
+      for (const Condition* c : cd.residual) {
+        if (!CheckCondition(*c, *binding)) return P::Zero();
+      }
+      return acc;
+    }
+    const Generator& gen = cd.generators[g];
+    const Atom& atom = gen.is_bool ? cd.sp->conditions[gen.atom_index].atom
+                                   : cd.sp->atoms[gen.atom_index];
+    std::vector<int> key_pos;
+    Tuple key;
+    struct FreeOp {
+      int pos;
+      int var;
+      bool bind;  ///< first unbound occurrence within this atom
+    };
+    std::vector<FreeOp> free_ops;
+    for (std::size_t p = 0; p < atom.args.size(); ++p) {
+      const Term& t = atom.args[p];
+      const ConstId ground = t.IsVar() ? (*binding)[t.var] : t.constant;
+      if (ground != kUnbound) {
+        key_pos.push_back(static_cast<int>(p));
+        key.push_back(ground);
+        continue;
+      }
+      bool seen = false;
+      for (const FreeOp& f : free_ops) {
+        if (f.bind && f.var == t.var) seen = true;
+      }
+      free_ops.push_back(FreeOp{static_cast<int>(p), t.var, !seen});
+    }
+    const IndexConfig idx_cfg{options_.index_kind, options_.scan_kernel};
+    typename P::Value total = P::Zero();
+    auto drain = [&](const auto& rel, const RowIdList& entries,
+                     auto&& value_of) {
+      for (uint32_t row : entries) {
+        ++*work;
+        bool matched = true;
+        for (const FreeOp& f : free_ops) {
+          const ConstId got = rel.Cell(row, f.pos);
+          if (f.bind) {
+            (*binding)[f.var] = got;
+          } else if ((*binding)[f.var] != got) {
+            matched = false;
+            break;
+          }
+        }
+        if (!matched) continue;
+        total = P::Plus(total, RederiveLevel(cd, g + 1, binding,
+                                             value_of(row), idb, work));
+      }
+      for (const FreeOp& f : free_ops) {
+        if (f.bind) (*binding)[f.var] = kUnbound;
+      }
+    };
+    if (gen.is_bool) {
+      const Relation<BoolS>& rel = edb_->boolean(gen.pred);
+      if (free_ops.empty()) {
+        ++*work;
+        if (!rel.Get(key)) return P::Zero();
+        return RederiveLevel(cd, g + 1, binding, acc, idb, work);
+      }
+      std::unique_ptr<RelationIndex<BoolS>> local;
+      const RowIdList* entries = nullptr;
+      if (options_.cache_indexes) {
+        const RelationIndex<BoolS>& idx =
+            bool_cache_.Get(rel, key_pos, /*pin=*/false);
+        CountProbe(idx.repr(), &hash_probes_, &direct_probes_);
+        entries = &idx.Lookup(key);
+      } else {
+        ++uncached_builds_;
+        local = std::make_unique<RelationIndex<BoolS>>(rel, key_pos, idx_cfg);
+        CountProbe(local->repr(), &hash_probes_, &direct_probes_);
+        entries = &local->Lookup(key);
+      }
+      drain(rel, *entries, [&](uint32_t) { return acc; });
+      return total;
+    }
+    const Relation<P>& rel =
+        gen.is_idb ? idb.idb(gen.pred) : edb_->pops(gen.pred);
+    if (free_ops.empty()) {
+      ++*work;
+      const typename P::Value v = rel.Get(key);
+      if (P::Eq(v, P::Zero())) return P::Zero();
+      return RederiveLevel(cd, g + 1, binding, P::Times(acc, v), idb, work);
+    }
+    std::unique_ptr<RelationIndex<P>> local;
+    const RowIdList* entries = nullptr;
+    if (options_.cache_indexes) {
+      const RelationIndex<P>& idx =
+          pops_cache_.Get(rel, key_pos, /*pin=*/false);
+      CountProbe(idx.repr(), &hash_probes_, &direct_probes_);
+      entries = &idx.Lookup(key);
+    } else {
+      ++uncached_builds_;
+      local = std::make_unique<RelationIndex<P>>(rel, key_pos, idx_cfg);
+      CountProbe(local->repr(), &hash_probes_, &direct_probes_);
+      entries = &local->Lookup(key);
+    }
+    drain(rel, *entries,
+          [&](uint32_t row) { return P::Times(acc, rel.ValueAt(row)); });
+    return total;
   }
 
   /// The parallel ICO step. Three phases (see the class comment):
@@ -1209,7 +1997,11 @@ class Engine {
                  IdbInstance<P>* out, uint64_t* work) const {
     for (const CompiledDisjunct& cd : cr.disjuncts) {
       auto resolver = [&](int atom_index) -> const Relation<P>& {
-        return j.idb(cd.sp->atoms[atom_index].pred);
+        const int pred = cd.sp->atoms[atom_index].pred;
+        if (prog_->predicate(pred).kind != PredKind::kIdb) {
+          return edb_->pops(pred);
+        }
+        return j.idb(pred);
       };
       EvalDisjunct(cd, resolver, &out->idb(cr.rule->head.pred), work);
     }
@@ -1399,14 +2191,21 @@ class Engine {
         prep->bool_rel[g] = &rel;
         prep->repr[g] = prep->bool_idx[g]->repr();
       } else {
-        const Relation<P>& rel =
-            gen.is_idb ? resolver(gen.atom_index) : edb_->pops(gen.pred);
+        // ALL POPS atoms resolve through the resolver: the standard
+        // resolvers return the live EDB relation for non-IDB atoms, while
+        // Engine::Update's seed resolvers substitute snapshot/delta
+        // relations for changed EDB predicates. Pinning and the EDB-scan
+        // counter apply only to the live EDB relation itself — substitute
+        // relations are transient, so their cache entries must stay
+        // evictable and must not disturb the EDB-scan invariant.
+        const Relation<P>& rel = resolver(gen.atom_index);
+        const bool base_edb = !gen.is_idb && &rel == &edb_->pops(gen.pred);
         if (options_.cache_indexes) {
           const uint64_t before = pops_cache_.builds();
           const uint64_t scans = pops_cache_.scan_rows();
           prep->pops_idx[g] =
-              &pops_cache_.Get(rel, gen.key_positions, /*pin=*/!gen.is_idb);
-          if (gen.is_idb) {
+              &pops_cache_.Get(rel, gen.key_positions, /*pin=*/base_edb);
+          if (!base_edb) {
             if (pops_cache_.builds() != before) {
               ++idb_index_builds_;
             } else {

@@ -3,6 +3,7 @@
 #define DATALOGO_DATALOG_INSTANCE_H_
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "src/core/check.h"
@@ -11,6 +12,47 @@
 #include "src/semiring/boolean.h"
 
 namespace datalogo {
+
+/// One batch of EDB mutations for Engine::Update: POPS fact insertions
+/// (⊕-merged into the stored value, like repeated LoadTsv lines) and
+/// deletions (the whole fact leaves the support), plus Boolean-EDB
+/// insertions/deletions. Within one Update, deletes are applied before
+/// adds — a fact both deleted and re-added ends up present with exactly
+/// the added value.
+template <Pops P>
+struct EdbDelta {
+  struct PopsAdd {
+    int pred;
+    Tuple tuple;
+    typename P::Value value;
+  };
+  struct FactRef {
+    int pred;
+    Tuple tuple;
+  };
+  std::vector<PopsAdd> pops_adds;
+  std::vector<FactRef> pops_deletes;
+  std::vector<FactRef> bool_adds;
+  std::vector<FactRef> bool_deletes;
+
+  bool empty() const {
+    return pops_adds.empty() && pops_deletes.empty() && bool_adds.empty() &&
+           bool_deletes.empty();
+  }
+
+  void Add(int pred, Tuple t, typename P::Value v) {
+    pops_adds.push_back(PopsAdd{pred, std::move(t), std::move(v)});
+  }
+  void Delete(int pred, Tuple t) {
+    pops_deletes.push_back(FactRef{pred, std::move(t)});
+  }
+  void AddBool(int pred, Tuple t) {
+    bool_adds.push_back(FactRef{pred, std::move(t)});
+  }
+  void DeleteBool(int pred, Tuple t) {
+    bool_deletes.push_back(FactRef{pred, std::move(t)});
+  }
+};
 
 /// Input instance (I, I_B): POPS relations for σ, Boolean relations for σ_B.
 ///

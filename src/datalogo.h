@@ -38,6 +38,7 @@
 #include "src/semiring/classification.h"
 #include "src/semiring/completed.h"
 #include "src/semiring/core_semiring.h"
+#include "src/semiring/deletion.h"
 #include "src/semiring/four.h"
 #include "src/semiring/lifted.h"
 #include "src/semiring/naturals.h"

@@ -1,15 +1,32 @@
-// TSV import/export for K-relations: one tuple per line, tab- (or
-// whitespace-) separated key columns, with the POPS value in the last
-// column for POPS relations. Integer-looking keys intern as integers,
-// everything else as symbols.
+// TSV import/export for K-relations.
+//
+// Token grammar (one tuple per line):
+//   line    := '#' comment | WS* | token (WS+ token)* WS*
+//   token   := 1*<any byte except space, tab, CR, LF>
+//   WS      := space | tab | CR
+// Tokens are whitespace-delimited, so a symbol containing whitespace
+// cannot be represented; DumpTsv/DumpTsvChecked reject such symbols
+// instead of emitting text that SplitLine would re-split into extra
+// columns on reload. A token matching `-?[0-9]+` interns as the 64-bit
+// integer it spells (out-of-range integer tokens are a load error, not an
+// exception); every other token interns as a symbol. Lines that are empty
+// or whose first byte is '#' are skipped, which is why a symbol may not
+// begin with '#': it would round-trip into a comment. CR before LF is
+// treated as whitespace, so CRLF files load like LF files.
+//
+// POPS relations carry the value in the last column; Boolean relations
+// are key-only.
 #ifndef DATALOGO_RELATION_IO_H_
 #define DATALOGO_RELATION_IO_H_
 
 #include <cctype>
+#include <charconv>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/core/check.h"
 #include "src/core/status.h"
 #include "src/relation/relation.h"
 #include "src/semiring/boolean.h"
@@ -27,9 +44,21 @@ inline bool LooksLikeInt(const std::string& s) {
   return true;
 }
 
-inline ConstId InternToken(const std::string& tok, Domain* dom) {
-  if (LooksLikeInt(tok)) return dom->InternInt(std::stoll(tok));
-  return dom->InternSymbol(tok);
+/// Interns one key token: integer-looking tokens as integers, everything
+/// else as symbols. Returns false — instead of letting std::stoll throw
+/// std::out_of_range through the loaders — when the token spells an
+/// integer that does not fit int64_t.
+inline bool TryInternToken(const std::string& tok, Domain* dom,
+                           ConstId* out) {
+  if (LooksLikeInt(tok)) {
+    int64_t v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc() || p != tok.data() + tok.size()) return false;
+    *out = dom->InternInt(v);
+    return true;
+  }
+  *out = dom->InternSymbol(tok);
+  return true;
 }
 
 inline std::vector<std::string> SplitLine(const std::string& line) {
@@ -38,6 +67,18 @@ inline std::vector<std::string> SplitLine(const std::string& line) {
   std::string tok;
   while (is >> tok) out.push_back(tok);
   return out;
+}
+
+/// True iff `text` is re-readable as a single token of the grammar above
+/// AND re-interns as the same symbol (not as an integer, a comment, or
+/// nothing at all).
+inline bool IsDumpableSymbol(const std::string& text) {
+  if (text.empty() || text[0] == '#') return false;
+  if (LooksLikeInt(text)) return false;
+  for (char ch : text) {
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') return false;
+  }
+  return true;
 }
 
 }  // namespace io_internal
@@ -66,7 +107,13 @@ Status LoadTsv(const std::string& text, Domain* dom, Relation<P>* rel,
     }
     t.clear();
     for (int i = 0; i < rel->arity(); ++i) {
-      t.push_back(io_internal::InternToken(toks[i], dom));
+      ConstId id = 0;
+      if (!io_internal::TryInternToken(toks[i], dom, &id)) {
+        return InvalidArgument("line " + std::to_string(lineno) +
+                               ": integer key out of 64-bit range '" +
+                               toks[i] + "'");
+      }
+      t.push_back(id);
     }
     typename P::Value v;
     if (!parse_value(toks.back(), &v)) {
@@ -98,7 +145,13 @@ inline Status LoadTsvBool(const std::string& text, Domain* dom,
     }
     t.clear();
     for (const std::string& tok : toks) {
-      t.push_back(io_internal::InternToken(tok, dom));
+      ConstId id = 0;
+      if (!io_internal::TryInternToken(tok, dom, &id)) {
+        return InvalidArgument("line " + std::to_string(lineno) +
+                               ": integer key out of 64-bit range '" + tok +
+                               "'");
+      }
+      t.push_back(id);
     }
     rel->Set(t, true);
   }
@@ -117,7 +170,10 @@ inline bool ParseDoubleValue(const std::string& s, double* out) {
 }
 inline bool ParseUintValue(const std::string& s, uint64_t* out) {
   if (!io_internal::LooksLikeInt(s) || s[0] == '-') return false;
-  *out = std::stoull(s);
+  uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) return false;
+  *out = v;
   return true;
 }
 inline bool ParseBoolValue(const std::string& s, bool* out) {
@@ -133,18 +189,41 @@ inline bool ParseBoolValue(const std::string& s, bool* out) {
 }
 
 /// Dumps a relation as sorted TSV (keys then value), reading cells
-/// straight out of the columnar store in lexicographic row order.
+/// straight out of the columnar store in lexicographic row order. Fails
+/// with InvalidArgument — instead of silently emitting text that LoadTsv
+/// would re-split into the wrong columns — when a key renders as a
+/// non-dumpable symbol (contains whitespace, is empty, starts with '#',
+/// or spells an integer; see the token grammar above).
 template <Pops P>
-std::string DumpTsv(const Relation<P>& rel, const Domain& dom) {
+Status DumpTsvChecked(const Relation<P>& rel, const Domain& dom,
+                      std::string* out) {
   std::ostringstream os;
   for (uint32_t row : rel.SortedLiveRows()) {
     for (int p = 0; p < rel.arity(); ++p) {
+      ConstId id = rel.Cell(row, p);
+      std::string text = dom.ToString(id);
+      if (!dom.IsInt(id) && !io_internal::IsDumpableSymbol(text)) {
+        return InvalidArgument(
+            "symbol not representable as a TSV token: '" + text + "'");
+      }
       if (p) os << "\t";
-      os << dom.ToString(rel.Cell(row, p));
+      os << text;
     }
     os << "\t" << P::ToString(rel.ValueAt(row)) << "\n";
   }
-  return os.str();
+  *out = os.str();
+  return Status::Ok();
+}
+
+/// DumpTsvChecked for callers that treat a non-dumpable symbol as a
+/// programming error: fails the process loudly instead of corrupting the
+/// round-trip. Use DumpTsvChecked to recover instead.
+template <Pops P>
+std::string DumpTsv(const Relation<P>& rel, const Domain& dom) {
+  std::string out;
+  Status s = DumpTsvChecked(rel, dom, &out);
+  DLO_CHECK_MSG(s.ok(), "DumpTsv: symbol not representable as a TSV token");
+  return out;
 }
 
 }  // namespace datalogo

@@ -222,6 +222,16 @@ class Relation {
   void Merge(const Tuple& t, const Value& v) { MergeKey(t, v); }
   void Merge(const RowView& key, const Value& v) { MergeKey(key, v); }
 
+  /// Removes a tuple from the support (r(t) ← ⊥); returns true iff the
+  /// tuple was live. Equivalent to Set(t, ⊥): membership shrinks, which
+  /// appending cannot express, so a successful Erase is a HARD mutation —
+  /// cached indexes rebuild on next use, not refresh. Bulk deletions
+  /// (Engine::Update's prune/apply phases) therefore batch their Erases
+  /// between evaluations and follow them with one Compact, paying one
+  /// rebuild per touched relation instead of one per tuple.
+  bool Erase(const Tuple& t) { return EraseKey(t); }
+  bool Erase(const RowView& key) { return EraseKey(key); }
+
   /// The key hash Merge/Get probe with, exposed so batched callers can
   /// hash a whole head batch ahead of the probes. Any Key exposing
   /// size() and operator[] over ConstIds works; the same value sequence
@@ -494,6 +504,17 @@ class Relation {
       values_[r].v = std::move(v);  // value-only overwrite: soft
       ++version_;
     }
+  }
+
+  template <typename Key>
+  bool EraseKey(const Key& key) {
+    if (static_cast<int>(key.size()) != arity_) return false;
+    uint32_t r = FindRow(key);
+    if (r == kNoRow || !live_flags_[r]) return false;
+    live_flags_[r] = 0;
+    --live_;
+    BumpHard();  // membership shrank: appended-row refresh can't see it
+    return true;
   }
 
   template <typename Key>

@@ -1,0 +1,144 @@
+// Deletion support for incremental maintenance (Engine::Update).
+//
+// Deleting EDB facts removes the ⊕-mass of every derivation tree that
+// used a deleted fact. A carrier supports EXACT deletion when that mass
+// can be subtracted back out of a total: count-carrying semirings — ℕ
+// (Example 2.2), the provenance polynomials N[X] (Sec. 2.4), and products
+// of such carriers — keep one "how many / which derivations" unit per
+// tree, so `total ⊖ removed` is ordinary (coefficient-wise) subtraction
+// and over-deletion never occurs. Idempotent carriers (B, Trop, ...)
+// collapse alternative derivations into one value; deletion there needs
+// the over-delete/re-derive (DRed) route instead, which Engine::Update
+// drives off CompleteDistributiveDioid.
+//
+// Retract is partial: saturated values (ℕ's ∞, saturated polynomial
+// coefficients) have forgotten the exact count, so subtracting from or
+// by them must fail — the engine then falls back to a full recompute.
+#ifndef DATALOGO_SEMIRING_DELETION_H_
+#define DATALOGO_SEMIRING_DELETION_H_
+
+#include <utility>
+
+#include "src/semiring/naturals.h"
+#include "src/semiring/product.h"
+#include "src/semiring/provenance.h"
+#include "src/semiring/tropical.h"
+#include "src/semiring/boolean.h"
+#include "src/semiring/traits.h"
+
+namespace datalogo {
+
+/// Per-carrier deletion capabilities. The primary template declares no
+/// capability; carriers opt in by specialization.
+template <typename P>
+struct DeletionTraits {
+  /// True iff the carrier can subtract removed derivation mass exactly
+  /// (and then provides `static bool Retract(total, removed, out)`).
+  static constexpr bool kSupportsExactDeletion = false;
+  /// True iff ⊕ is *selective* (always returns one of its arguments —
+  /// min, max, or). On a selective dioid a tuple's value is witnessed by
+  /// a single best derivation, so DRed can prune only tuples whose
+  /// removed-mass ties or beats the stored optimum instead of the whole
+  /// reachable cone. Must NOT be set for mixing ⊕ (union, sum).
+  static constexpr bool kSelectivePlus = false;
+};
+
+/// ℕ∞: exact as long as no ∞ is involved (∞ has forgotten its count).
+template <>
+struct DeletionTraits<NatS> {
+  static constexpr bool kSupportsExactDeletion = true;
+  static constexpr bool kSelectivePlus = false;
+  static bool Retract(NatS::Value total, NatS::Value removed,
+                      NatS::Value* out) {
+    if (total == NatS::kInf || removed == NatS::kInf) return false;
+    if (removed > total) return false;  // over-removal: count went bad
+    *out = total - removed;
+    return true;
+  }
+};
+
+/// N[X]: coefficient-wise ℕ retraction per monomial.
+template <>
+struct DeletionTraits<ProvPolyS> {
+  static constexpr bool kSupportsExactDeletion = true;
+  static constexpr bool kSelectivePlus = false;
+  static bool Retract(const ProvPolyS::Value& total,
+                      const ProvPolyS::Value& removed,
+                      ProvPolyS::Value* out) {
+    ProvPolyS::Value result = total;
+    for (const auto& [mono, coeff] : removed) {
+      auto it = result.find(mono);
+      uint64_t have = (it == result.end()) ? 0 : it->second;
+      uint64_t left = 0;
+      if (!DeletionTraits<NatS>::Retract(have, coeff, &left)) return false;
+      if (left == 0) {
+        if (it != result.end()) result.erase(it);
+      } else {
+        it->second = left;
+      }
+    }
+    *out = std::move(result);
+    return true;
+  }
+};
+
+/// Products retract componentwise when every component does. ⊕ of a
+/// product mixes components, so it is never selective.
+template <Pops P1, Pops P2>
+  requires(DeletionTraits<P1>::kSupportsExactDeletion &&
+           DeletionTraits<P2>::kSupportsExactDeletion)
+struct DeletionTraits<ProductPops<P1, P2>> {
+  static constexpr bool kSupportsExactDeletion = true;
+  static constexpr bool kSelectivePlus = false;
+  using Value = typename ProductPops<P1, P2>::Value;
+  static bool Retract(const Value& total, const Value& removed, Value* out) {
+    return DeletionTraits<P1>::Retract(total.first, removed.first,
+                                       &out->first) &&
+           DeletionTraits<P2>::Retract(total.second, removed.second,
+                                       &out->second);
+  }
+};
+
+/// Selective-⊕ dioids: or / min / max pick one argument exactly.
+template <>
+struct DeletionTraits<BoolS> {
+  static constexpr bool kSupportsExactDeletion = false;
+  static constexpr bool kSelectivePlus = true;
+};
+template <>
+struct DeletionTraits<TropS> {
+  static constexpr bool kSupportsExactDeletion = false;
+  static constexpr bool kSelectivePlus = true;
+};
+template <>
+struct DeletionTraits<TropNatS> {
+  static constexpr bool kSupportsExactDeletion = false;
+  static constexpr bool kSelectivePlus = true;
+};
+template <>
+struct DeletionTraits<MaxPlusS> {
+  static constexpr bool kSupportsExactDeletion = false;
+  static constexpr bool kSelectivePlus = true;
+};
+template <>
+struct DeletionTraits<ViterbiS> {
+  static constexpr bool kSupportsExactDeletion = false;
+  static constexpr bool kSelectivePlus = true;
+};
+template <>
+struct DeletionTraits<FuzzyS> {
+  static constexpr bool kSupportsExactDeletion = false;
+  static constexpr bool kSelectivePlus = true;
+};
+
+/// Concept gate for Engine::Update's exact-deletion cascade.
+template <typename P>
+concept SupportsExactDeletion =
+    Pops<P> && DeletionTraits<P>::kSupportsExactDeletion &&
+    requires(const typename P::Value& a, typename P::Value* out) {
+      { DeletionTraits<P>::Retract(a, a, out) } -> std::same_as<bool>;
+    };
+
+}  // namespace datalogo
+
+#endif  // DATALOGO_SEMIRING_DELETION_H_
